@@ -1,0 +1,35 @@
+"""Shared table-printing / series-export helpers for the benchmarks."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_series_csv(name: str, header: list[str],
+                     rows: list[list[object]]) -> str:
+    """Persist an experiment's data series to benchmarks/results/<name>.csv
+    so figures can be regenerated outside the test run.  Returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.csv")
+    with open(path, "w") as fh:
+        fh.write(",".join(header) + "\n")
+        for r in rows:
+            fh.write(",".join(str(c) for c in r) + "\n")
+    return path
+
+
+def print_table(title: str, header: list[str], rows: list[list[object]]) -> None:
+    """Fixed-width experiment table on stdout (visible with ``pytest -s``)."""
+    widths = [max(len(str(h)), *(len(str(r[i])) for r in rows)) + 2
+              for i, h in enumerate(header)] if rows else [len(h) + 2
+                                                           for h in header]
+    out = [f"\n=== {title} ==="]
+    out.append("".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    out.append("-" * sum(widths))
+    for r in rows:
+        out.append("".join(str(c).ljust(w) for c, w in zip(r, widths)))
+    print("\n".join(out))
+    sys.stdout.flush()

@@ -1,0 +1,104 @@
+"""E11 — web portal/gateway (paper §IV-E).
+
+Claims reproduced: the portal forwards web apps from *any* compute node
+(not a dedicated partition); the path is authenticated (no/invalid token is
+rejected) and authorized end-to-end (the forwarded hop runs as the real
+user, so the UBF blocks cross-user access even with a valid login); the
+ad-hoc-forwarding baseline leaks.
+
+Series printed: access matrix (requester × config) and the any-node check.
+"""
+
+from repro import BASELINE, Cluster, LLSC
+from repro.kernel.errors import KernelError
+from repro.portal.webapp import launch_webapp
+
+from _helpers import print_table
+
+
+def build(config):
+    return Cluster.build(config, n_compute=4, users=("alice", "bob"))
+
+
+def launch_victim_app(cluster, node_index=0):
+    job = cluster.submit("alice", name="jupyter", duration=10_000.0)
+    cluster.run(until=1.0)
+    shell = cluster.job_session(job)
+    app = launch_webapp(shell.node, shell.process, 8888, "jupyter")
+    cluster.portal.register(app)
+    return app
+
+
+def access_matrix() -> dict[str, dict[str, bool]]:
+    out: dict[str, dict[str, bool]] = {}
+    for cfg in (BASELINE, LLSC):
+        cluster = build(cfg)
+        app = launch_victim_app(cluster)
+        row: dict[str, bool] = {}
+
+        def fetch(token):
+            try:
+                return b"jupyter" in cluster.portal.connect(token, app.app_id)
+            except KernelError:
+                return False
+
+        row["owner (token)"] = fetch(cluster.portal.login("alice").token)
+        row["stranger (token)"] = fetch(cluster.portal.login("bob").token)
+        row["no token"] = fetch(None)
+        row["forged token"] = fetch("tok-forged")
+        out[cfg.name] = row
+    return out
+
+
+def test_e11_access_matrix(benchmark):
+    matrix = benchmark.pedantic(access_matrix, rounds=1, iterations=1)
+    cases = list(matrix["LLSC"])
+    rows = [[c] + [("served" if matrix[cfg][c] else "refused")
+                   for cfg in ("BASELINE", "LLSC")] for c in cases]
+    print_table("E11: portal access", ["requester", "BASELINE", "LLSC"],
+                rows)
+    benchmark.extra_info["matrix"] = matrix
+    assert matrix["LLSC"] == {
+        "owner (token)": True,
+        "stranger (token)": False,   # UBF on the forwarded hop
+        "no token": False,           # auth required
+        "forged token": False,
+    }
+    # ad-hoc baseline: everything reachable
+    assert all(v for k, v in matrix["BASELINE"].items()
+               if "forged" not in k)
+
+
+def test_e11_any_compute_node(benchmark):
+    """Apps are reachable wherever the scheduler placed them."""
+    def all_nodes_reachable() -> dict[str, bool]:
+        out = {}
+        cluster = build(LLSC)
+        token = cluster.portal.login("alice").token
+        for cn in cluster.compute_nodes:
+            shell_proc = cn.node.procs.spawn(
+                cluster.userdb.credentials_for(cluster.user("alice")),
+                ["jupyter"])
+            app = launch_webapp(cn.node, shell_proc, 8888,
+                                f"nb-{cn.name}")
+            cluster.portal.register(app)
+            try:
+                page = cluster.portal.connect(token, app.app_id)
+                out[cn.name] = f"nb-{cn.name}".encode() in page
+            except KernelError:
+                out[cn.name] = False
+        return out
+
+    reach = benchmark.pedantic(all_nodes_reachable, rounds=1, iterations=1)
+    print_table("E11: app reachability per compute node",
+                ["node", "reachable"], [[k, v] for k, v in reach.items()])
+    assert all(reach.values()) and len(reach) == 4
+
+
+def test_e11_portal_fetch_cost(benchmark):
+    """End-to-end authenticated fetch through the portal."""
+    cluster = build(LLSC)
+    app = launch_victim_app(cluster)
+    token = cluster.portal.login("alice").token
+    page = benchmark(cluster.portal.connect, token, app.app_id)
+    assert b"jupyter" in page

@@ -1,0 +1,151 @@
+"""E13 — containers and security passthrough (paper §IV-G).
+
+Claims reproduced: (a) "all of the security features described in this
+paper pass through to the container as well" — the E1/E6/E8 probes behave
+identically whether the probing process is containerised or not; (b) image
+builds require root and therefore fail on cluster nodes while succeeding on
+the user's workstation; (c) containers grant no privilege — image content
+stays root-owned and immutable to the invoking user.
+
+Series printed: probe × (host shell / container shell) outcome matrix.
+"""
+
+from repro import Cluster, LLSC
+from repro.containers import ImageFile, SingularityRuntime, build_image
+from repro.kernel.errors import KernelError
+
+from _helpers import print_table
+
+
+def build():
+    cluster = Cluster.build(LLSC, n_compute=2,
+                            users=("alice", "bob"))
+    ws = cluster.add_workstation("bob")
+    image = build_image(ws, cluster.user("bob"), "research-env", [
+        ImageFile("/opt", is_dir=True),
+        ImageFile("/opt/python", data=b"#!ELF"),
+    ])
+    return cluster, image
+
+
+def probe_set(cluster, sys_iface, attacker_name="bob") -> dict[str, bool]:
+    """Run the cross-boundary probes as bob against victim alice.
+    True = leaked/allowed."""
+    out: dict[str, bool] = {}
+    victim = cluster.login("alice")
+    victim.sys.spawn_child(["python", "--token=s3cret"])
+    out["see victim processes"] = any(
+        r.uid == victim.user.uid for r in sys_iface.ps())
+    victim.sys.create("/home/alice/data.bin", mode=0o600, data=b"d")
+    try:
+        sys_iface.open_read("/home/alice/data.bin")
+        out["read victim home"] = True
+    except KernelError:
+        out["read victim home"] = False
+    # smask inside: try to publish world-readable
+    sys_iface.umask(0o000)
+    st = sys_iface.create(f"/tmp/{attacker_name}-pub", mode=0o666, data=b"x")
+    out["create world-readable file"] = bool(st.mode & 0o004)
+    # network: connect to victim's service
+    vjob = cluster.submit("alice", duration=10_000.0)
+    cluster.run(until=cluster.engine.now + 1.0)
+    vshell = cluster.job_session(vjob)
+    svc = vshell.node.net.listen(vshell.node.net.bind(vshell.process, 7070))
+    try:
+        sys_iface.socket().connect(vshell.node.name, 7070)
+        out["connect to victim service"] = True
+    except KernelError:
+        out["connect to victim service"] = False
+    return out
+
+
+def host_vs_container() -> dict[str, dict[str, bool]]:
+    cluster, image = build()
+    bob_host = cluster.login("bob")
+    host = probe_set(cluster, bob_host.sys)
+
+    cluster2, image2 = build()
+    bob2 = cluster2.login("bob")
+    container = SingularityRuntime(bob2.node).run(bob2.process, image2)
+    inside = probe_set(cluster2, container.syscalls())
+    return {"host shell": host, "container shell": inside}
+
+
+def test_e13_passthrough_matrix(benchmark):
+    matrix = benchmark.pedantic(host_vs_container, rounds=1, iterations=1)
+    cases = list(matrix["host shell"])
+    rows = [[c, matrix["host shell"][c], matrix["container shell"][c]]
+            for c in cases]
+    print_table("E13: probes from host vs containerised shell (LLSC)",
+                ["probe", "host", "container"], rows)
+    benchmark.extra_info["matrix"] = matrix
+    # the paper's claim is equality: the container changes nothing
+    assert matrix["host shell"] == matrix["container shell"]
+    # and everything is blocked under LLSC
+    assert not any(matrix["container shell"].values())
+
+
+def test_e13_build_policy(benchmark):
+    def build_matrix() -> dict[str, bool]:
+        cluster, _ = build()
+        out = {}
+        try:
+            build_image(cluster.login("bob").node, cluster.user("bob"),
+                        "evil", [])
+            out["build on login node"] = True
+        except KernelError:
+            out["build on login node"] = False
+        try:
+            build_image(cluster.compute_nodes[0].node, cluster.user("bob"),
+                        "evil", [])
+            out["build on compute node"] = True
+        except KernelError:
+            out["build on compute node"] = False
+        ws = cluster.add_workstation("bob")
+        try:
+            build_image(ws, cluster.user("bob"), "ok", [])
+            out["build on own workstation"] = True
+        except KernelError:
+            out["build on own workstation"] = False
+        return out
+
+    results = benchmark.pedantic(build_matrix, rounds=1, iterations=1)
+    print_table("E13: where container builds are possible",
+                ["host", "allowed"], [[k, v] for k, v in results.items()])
+    assert results == {"build on login node": False,
+                       "build on compute node": False,
+                       "build on own workstation": True}
+
+
+def test_e13_no_privilege_gain(benchmark):
+    def immutability() -> dict[str, bool]:
+        cluster, image = build()
+        bob = cluster.login("bob")
+        c = SingularityRuntime(bob.node).run(bob.process, image)
+        out = {"creds unchanged": c.process.creds.uid == bob.user.uid
+               and not c.process.creds.is_root}
+        try:
+            c.syscalls().open_write("/opt/python", b"pwned")
+            out["image immutable"] = False
+        except KernelError:
+            out["image immutable"] = True
+        try:
+            c.syscalls().chmod("/opt/python", 0o777)
+            out["image chmod blocked"] = False
+        except KernelError:
+            out["image chmod blocked"] = True
+        return out
+
+    results = benchmark.pedantic(immutability, rounds=1, iterations=1)
+    print_table("E13: privilege containment in container",
+                ["property", "holds"], [[k, v] for k, v in results.items()])
+    assert all(results.values())
+
+
+def test_e13_container_launch_cost(benchmark):
+    """apptainer-exec cost: image materialisation + bind mounts."""
+    cluster, image = build()
+    bob = cluster.login("bob")
+    rt = SingularityRuntime(bob.node)
+    container = benchmark(rt.run, bob.process, image)
+    assert container.syscalls().listdir("/opt") == ["python"]

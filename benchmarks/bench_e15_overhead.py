@@ -1,0 +1,103 @@
+"""E15 — security-control overhead shapes (paper §I, ref [2]).
+
+Claims reproduced: (a) Spectre/Meltdown-class mitigations (a per-syscall
+tax) cost syscall-bound HPC workloads 15-40% while compute-bound work is
+untouched — the measurement that motivates the paper's zero-hot-path
+philosophy; (b) every Section-IV control pays at a coarser granularity
+(session, connection, job boundary), so the same workload mix under the
+full LLSC configuration shows ~zero slowdown.
+
+Series printed: per-workload slowdown under the mitigation tax; the
+slowdown-vs-syscall-fraction curve; the LLSC control cost table.
+"""
+
+import numpy as np
+
+from repro.core import (
+    WorkloadProfile,
+    llsc_control_costs,
+    make_profiles,
+    slowdown,
+    sweep_syscall_fraction,
+)
+from repro.net.ubf import COST_US
+
+from _helpers import print_table, write_series_csv
+
+
+def test_e15_mitigation_slowdown_by_workload(benchmark):
+    profiles = make_profiles()
+    results = benchmark.pedantic(
+        lambda: {p.name: (p.syscall_fraction, slowdown(p))
+                 for p in profiles},
+        rounds=1, iterations=1)
+    rows = [[name, f"{frac:.1%}", f"{slow:.1%}"]
+            for name, (frac, slow) in results.items()]
+    print_table("E15: per-syscall mitigation tax by workload",
+                ["workload", "syscall time share", "slowdown"], rows)
+    benchmark.extra_info["slowdowns"] = {
+        k: {"fraction": f, "slowdown": s}
+        for k, (f, s) in results.items()}
+    slows = dict(results.values())
+    by_name = {k: v[1] for k, v in results.items()}
+    assert by_name["dense-linalg"] < 0.01        # compute-bound untouched
+    affected = [v for k, v in by_name.items()
+                if results[k][0] > 0.05]
+    assert affected and all(0.10 < s < 0.55 for s in affected)
+    assert sum(0.15 <= s <= 0.40 for s in affected) >= 2  # published band
+
+
+def test_e15_slowdown_curve(benchmark):
+    frac, slow = benchmark.pedantic(
+        lambda: sweep_syscall_fraction(50), rounds=1, iterations=1)
+    picks = [0, 12, 25, 37, 49]
+    print_table("E15: slowdown vs syscall fraction (model curve)",
+                ["syscall fraction", "slowdown"],
+                [[f"{frac[i]:.2f}", f"{slow[i]:.1%}"] for i in picks])
+    csv = write_series_csv("e15_slowdown_curve",
+                           ["syscall_fraction", "slowdown"],
+                           [[f, s] for f, s in zip(frac, slow)])
+    print(f"series written to {csv}")
+    assert slow[0] == 0.0
+    assert np.all(np.diff(slow) >= 0)            # monotone
+    # the 15-40% band is hit at realistic fractions (6%-17%)
+    band = frac[(slow >= 0.15) & (slow <= 0.40)]
+    assert band.size and 0.04 < band.min() < 0.09
+    assert 0.15 < band.max() < 0.20
+
+
+def test_e15_llsc_controls_off_hot_path(benchmark):
+    costs = benchmark.pedantic(llsc_control_costs, rounds=1, iterations=1)
+    print_table("E15: where each LLSC control pays",
+                ["control", "unit", "cost (us)", "hot path"],
+                [[c.control, c.unit, c.cost_us, c.per_operation_hot_path]
+                 for c in costs])
+    assert all(not c.per_operation_hot_path for c in costs)
+
+
+def test_e15_mpi_job_overhead_under_ubf(benchmark):
+    """End-to-end: a 1000-message same-user MPI-style flow pays the UBF
+    only at channel setup — total firewall cost is <1% of even a
+    millisecond-scale message budget."""
+    from repro import Cluster, LLSC
+    from repro.net import firewall_cost_us
+
+    def run_flow():
+        cluster = Cluster.build(LLSC, n_compute=2, users=("alice",))
+        job = cluster.submit("alice", ntasks=2, duration=10_000.0)
+        cluster.run(until=1.0)
+        shell = cluster.job_session(job)
+        svc = shell.node.net.listen(shell.node.net.bind(shell.process, 7000))
+        peer = cluster.login("alice")
+        conn = peer.socket().connect(shell.node.name, 7000)
+        for _ in range(1000):
+            conn.send(b"halo" * 64)
+        return firewall_cost_us(cluster.metrics)
+
+    total_us = benchmark.pedantic(run_flow, rounds=1, iterations=1)
+    per_msg = total_us / 1000
+    print_table("E15: UBF cost across a 1000-message same-user flow",
+                ["total modelled us", "per message us"],
+                [[f"{total_us:.1f}", f"{per_msg:.3f}"]])
+    benchmark.extra_info["per_message_us"] = per_msg
+    assert per_msg < 1.0  # amortised to noise

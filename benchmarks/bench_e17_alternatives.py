@@ -1,0 +1,193 @@
+"""E17 + E18 — the paper's rejected alternatives, quantified (§III, §IV-D).
+
+E17 claim: "A traditional PPS firewall would have no way to make an
+intelligent decision about a traffic flow consisting of a novel application
+still in it's 'version 0' phase of development, but this is no impediment
+to making user-based decisions."  We deploy a population of novel user apps
+on arbitrary ports and score three policies — PPS-strict (nothing
+approved), PPS-after-tickets (admins approve every requested port), and the
+UBF — on false-deny (developer blocked from their own app) and false-allow
+(stranger admitted) rates, plus admin tickets filed.
+
+E18 claim (§III Option 1 vs Option 2): application-level MPI encryption
+pays per byte on the message path; the UBF pays per connection.  We run a
+real encrypt/MAC code path over the simulated fabric and compare modelled
+security cost as message volume grows, including the crossover.
+"""
+
+import numpy as np
+
+from repro import Cluster, LLSC, ablate
+from repro.kernel.errors import KernelError
+from repro.net import PPSPolicy, Proto
+from repro.sim import make_rng
+from repro.workloads import (
+    CryptoStats,
+    EncryptedChannel,
+    option1_exchange_cost_us,
+    option2_exchange_cost_us,
+)
+
+from _helpers import print_table
+
+N_APPS = 20
+
+
+def deploy_apps(cluster, rng) -> list[tuple[str, object, int]]:
+    """N novel 'version 0' apps: (owner, node, port) on random user ports."""
+    apps = []
+    owners = ("alice", "bob")
+    ports = rng.choice(np.arange(20000, 60000), size=N_APPS, replace=False)
+    for i in range(N_APPS):
+        owner = owners[i % 2]
+        node = cluster.compute_nodes[i % len(cluster.compute_nodes)].node
+        creds = cluster.userdb.credentials_for(cluster.user(owner))
+        proc = node.procs.spawn(creds, [f"v0-app-{i}"])
+        node.net.listen(node.net.bind(proc, int(ports[i])))
+        apps.append((owner, node, int(ports[i])))
+    return apps
+
+
+def score_policy(mode: str) -> dict[str, float]:
+    """mode: 'pps-strict' | 'pps-tickets' | 'ubf'."""
+    rng = make_rng(17)
+    cfg = LLSC if mode == "ubf" else ablate(LLSC, ubf=True)
+    cluster = Cluster.build(cfg, n_compute=4, users=("alice", "bob"))
+    apps = deploy_apps(cluster, rng)
+    tickets = 0
+    if mode.startswith("pps"):
+        policy = PPSPolicy()
+        if mode == "pps-tickets":
+            for _, _, port in apps:
+                policy.approve(Proto.TCP, port, "user change request")
+            tickets = policy.change_requests
+        for host in cluster.fabric.hosts():
+            host.firewall.bind_nfqueue(policy.handler)
+
+    counts = dict(legit_allowed=0, legit_denied=0,
+                  attack_allowed=0, attack_denied=0)
+    for owner, node, port in apps:
+        for requester in ("alice", "bob"):
+            sess = cluster.login(requester)
+            try:
+                sess.socket().connect(node.name, port)
+                ok = True
+            except KernelError:
+                ok = False
+            if requester == owner:
+                counts["legit_allowed" if ok else "legit_denied"] += 1
+            else:
+                counts["attack_allowed" if ok else "attack_denied"] += 1
+    legit = counts["legit_allowed"] + counts["legit_denied"]
+    attack = counts["attack_allowed"] + counts["attack_denied"]
+    return {
+        "false_deny": counts["legit_denied"] / legit,
+        "false_allow": counts["attack_allowed"] / attack,
+        "tickets": tickets,
+    }
+
+
+def test_e17_pps_vs_ubf(benchmark):
+    results = benchmark.pedantic(
+        lambda: {m: score_policy(m)
+                 for m in ("pps-strict", "pps-tickets", "ubf")},
+        rounds=1, iterations=1)
+    rows = [[m, f"{r['false_deny']:.0%}", f"{r['false_allow']:.0%}",
+             r["tickets"]] for m, r in results.items()]
+    print_table(f"E17: {N_APPS} novel apps — firewall policy comparison",
+                ["policy", "false deny (own app)", "false allow (stranger)",
+                 "admin tickets"], rows)
+    benchmark.extra_info["results"] = results
+    # strict PPS: developers can't reach their own novel apps
+    assert results["pps-strict"]["false_deny"] == 1.0
+    assert results["pps-strict"]["false_allow"] == 0.0
+    # ticketed PPS: works, but admits every user and costs a ticket per app
+    assert results["pps-tickets"]["false_deny"] == 0.0
+    assert results["pps-tickets"]["false_allow"] == 1.0
+    assert results["pps-tickets"]["tickets"] == N_APPS
+    # the UBF: zero on both axes, zero tickets
+    assert results["ubf"] == {"false_deny": 0.0, "false_allow": 0.0,
+                              "tickets": 0}
+
+
+def encrypted_flow(n_messages: int, msg_bytes: int) -> CryptoStats:
+    """Actually run Option 1 over the simulated fabric."""
+    cluster = Cluster.build(ablate(LLSC, ubf=False), n_compute=2,
+                            users=("alice",))
+    job = cluster.submit("alice", duration=10_000.0)
+    cluster.run(until=1.0)
+    shell = cluster.job_session(job)
+    lst = shell.node.net.listen(shell.node.net.bind(shell.process, 6000))
+    peer = cluster.login("alice")
+    conn = peer.socket().connect(shell.node.name, 6000)
+    server_end = shell.node.net.accept(lst)
+    stats = CryptoStats()
+    key = b"0123456789abcdef"
+    tx = EncryptedChannel(conn, key, stats)
+    rx = EncryptedChannel(server_end, key, stats)
+    payload = bytes(msg_bytes)
+    for _ in range(n_messages):
+        tx.send(payload)
+        rx.recv()
+    return stats
+
+
+def test_e18_option1_vs_option2_cost(benchmark):
+    stats = benchmark.pedantic(lambda: encrypted_flow(200, 4096),
+                               rounds=1, iterations=1)
+    sizes = [(100, 4096), (1000, 4096), (10_000, 4096), (10_000, 65536)]
+    rows = []
+    for n, b in sizes:
+        o1 = option1_exchange_cost_us(n, b)
+        o2 = option2_exchange_cost_us(1, n_messages=n)
+        rows.append([n, b, f"{o1:,.0f}", f"{o2:,.0f}", f"{o1 / o2:,.1f}x"])
+    print_table("E18: modelled security cost, Option 1 (encrypted MPI) vs "
+                "Option 2 (UBF), single flow",
+                ["messages", "bytes/msg", "option 1 (us)", "option 2 (us)",
+                 "ratio"], rows)
+    benchmark.extra_info["executed_crypto_bytes"] = stats.bytes_processed
+    # the executed code path really processed every byte twice (tx+rx)
+    assert stats.bytes_processed == 2 * 200 * 4096
+    assert stats.mac_failures == 0
+    # shape: option 1 grows without bound in traffic; option 2 is ~flat
+    o1_small = option1_exchange_cost_us(100, 4096)
+    o1_big = option1_exchange_cost_us(10_000, 65536)
+    o2_small = option2_exchange_cost_us(1, n_messages=100)
+    o2_big = option2_exchange_cost_us(1, n_messages=10_000)
+    assert o1_big / o1_small > 500
+    assert o2_big / o2_small < 25
+    # crossover: for tiny flows Option 1 can be cheaper than a UBF setup;
+    # for any sustained MPI exchange Option 2 wins by orders of magnitude
+    assert option1_exchange_cost_us(10, 256) < option2_exchange_cost_us(1)
+    assert option1_exchange_cost_us(10_000, 65536) > \
+        100 * option2_exchange_cost_us(1, n_messages=10_000)
+
+
+def test_e18_option1_does_not_stop_connections(benchmark):
+    """Coverage difference: encryption protects *content*, but a stranger
+    can still connect to the buggy v0 service and exercise its parser —
+    the UBF stops the connection itself."""
+
+    def probe() -> dict[str, bool]:
+        out = {}
+        for label, ubf in (("option1-only", False), ("option2-ubf", True)):
+            cluster = Cluster.build(ablate(LLSC, ubf=ubf), n_compute=2,
+                                    users=("alice", "bob"))
+            job = cluster.submit("alice", duration=1000.0)
+            cluster.run(until=1.0)
+            shell = cluster.job_session(job)
+            shell.node.net.listen(
+                shell.node.net.bind(shell.process, 6000))
+            bob = cluster.login("bob")
+            try:
+                bob.socket().connect(shell.node.name, 6000)
+                out[label] = True
+            except KernelError:
+                out[label] = False
+        return out
+
+    results = benchmark.pedantic(probe, rounds=1, iterations=1)
+    print_table("E18: stranger reaches the (encrypted) v0 service?",
+                ["deployment", "connection established"],
+                [[k, v] for k, v in results.items()])
+    assert results == {"option1-only": True, "option2-ubf": False}

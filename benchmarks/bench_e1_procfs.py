@@ -1,0 +1,99 @@
+"""E1 + E2 — process visibility under hidepid (paper §IV-A).
+
+Claims reproduced
+-----------------
+E1: ``hidepid=2`` hides other users' processes and command lines; the
+``gid=`` exemption (seepid) restores full visibility for whitelisted staff;
+root always sees everything.  E2: an argv-borne credential
+(CVE-2020-27746 shape) is unreachable by other users under hidepid=2.
+
+Series printed: visibility matrix — rows (viewer kind), columns
+(hidepid 0/1/2) — of how many distinct uids each viewer can observe.
+"""
+
+import pytest
+
+from repro import Cluster, LLSC, ablate, seepid
+from repro.kernel.errors import KernelError
+
+from _helpers import print_table
+
+VIEWERS = ("plain user", "seepid staff", "root")
+
+
+def visibility_matrix() -> dict[int, dict[str, int]]:
+    out: dict[int, dict[str, int]] = {}
+    for hidepid in (0, 1, 2):
+        cluster = Cluster.build(
+            ablate(LLSC, hidepid=hidepid), n_compute=2,
+            users=("alice", "bob", "carol"), staff=("sam",))
+        for name in ("alice", "bob", "carol"):
+            cluster.login(name).sys.spawn_child([f"{name}-prog"])
+        row: dict[str, int] = {}
+        bob = cluster.login("bob")
+        row["plain user"] = len({r.uid for r in bob.sys.ps()})
+        sam = seepid(cluster, cluster.login("sam"))
+        row["seepid staff"] = len({r.uid for r in sam.sys.ps()})
+        root_sess = cluster.login("root")
+        row["root"] = len({r.uid for r in root_sess.sys.ps()})
+        out[hidepid] = row
+    return out
+
+
+def cve_2020_27746_probe(hidepid: int) -> bool:
+    """True if the attacker harvested the argv credential."""
+    cluster = Cluster.build(ablate(LLSC, hidepid=hidepid), n_compute=2,
+                            users=("alice", "mallory"))
+    cluster.login("alice").sys.spawn_child(
+        ["slurmstepd", "--x11", "--cookie=MAGIC"])
+    mallory = cluster.login("mallory")
+    for pid in mallory.sys.list_proc_pids():
+        try:
+            if "MAGIC" in mallory.sys.read_proc_cmdline(pid):
+                return True
+        except KernelError:
+            continue
+    return False
+
+
+def test_e1_visibility_matrix(benchmark):
+    matrix = benchmark.pedantic(visibility_matrix, rounds=1, iterations=1)
+    rows = [[viewer] + [matrix[h][viewer] for h in (0, 1, 2)]
+            for viewer in VIEWERS]
+    print_table("E1: distinct uids visible via ps",
+                ["viewer", "hidepid=0", "hidepid=1", "hidepid=2"], rows)
+    benchmark.extra_info["matrix"] = {str(k): v for k, v in matrix.items()}
+    # shape: plain user collapses to self-only; staff and root unaffected
+    assert matrix[0]["plain user"] >= 4   # 3 users + root daemons
+    assert matrix[2]["plain user"] == 1
+    assert matrix[2]["seepid staff"] == matrix[0]["seepid staff"]
+    assert matrix[2]["root"] == matrix[0]["root"]
+    # hidepid monotone for the plain viewer
+    assert (matrix[0]["plain user"] >= matrix[1]["plain user"]
+            >= matrix[2]["plain user"])
+
+
+def test_e2_cve_mitigation(benchmark):
+    results = benchmark.pedantic(
+        lambda: {h: cve_2020_27746_probe(h) for h in (0, 2)},
+        rounds=1, iterations=1)
+    print_table("E2: CVE-2020-27746 argv credential harvest",
+                ["hidepid", "credential leaked"],
+                [[h, leaked] for h, leaked in results.items()])
+    benchmark.extra_info["leak_by_hidepid"] = {str(k): v
+                                               for k, v in results.items()}
+    assert results[0] is True    # stock /proc leaks
+    assert results[2] is False   # pre-mitigated, as deployed at LLSC
+
+
+def test_e1_ps_cost_unchanged(benchmark):
+    """hidepid is a visibility filter, not a tax: time ps under hidepid=2
+    (the benchmark table gives the absolute cost; there is no slow path)."""
+    cluster = Cluster.build(LLSC, n_compute=2, users=("alice", "bob"))
+    for name in ("alice", "bob"):
+        s = cluster.login(name)
+        for i in range(20):
+            s.sys.spawn_child([f"work-{i}"])
+    bob = cluster.login("bob")
+    rows = benchmark(bob.sys.ps)
+    assert all(r.uid == bob.user.uid for r in rows)

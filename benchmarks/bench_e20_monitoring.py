@@ -1,0 +1,126 @@
+"""E20 — operational observability of enforced separation.
+
+Claim reproduced (implicit throughout the paper, explicit in the CVE story
+and the seepid rationale): because the controls are enforced *at the system
+level*, every cross-user attempt produces a system-side denial that
+operations staff can see and attribute — "we have also been able to give
+the sponsors ... much greater confidence" rests on being able to show the
+blocks.  We instrument a cluster, run a scanner and several legitimate
+users side by side, and check that (a) the scanner is flagged from denial
+telemetry alone, (b) legitimate work generates zero alerts, (c) staff
+escalations (seepid/smask_relax) leave an audit trail.
+"""
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import KernelError
+from repro.monitor import (
+    EventKind,
+    audited_seepid,
+    audited_session,
+    detect_probe_patterns,
+    instrument_cluster,
+)
+
+from _helpers import print_table
+
+
+def run_day() -> dict[str, object]:
+    cluster = Cluster.build(
+        LLSC, n_compute=4,
+        users=("alice", "bob", "carol", "dave", "mallory"),
+        staff=("sam",), projects={"fusion": ("carol", "dave")})
+    log = instrument_cluster(cluster)
+
+    # -- legitimate work ---------------------------------------------------
+    for user in ("alice", "bob"):
+        cluster.submit(user, ntasks=2, duration=500.0)
+    cluster.run(until=1.0)
+    alice = cluster.login("alice")
+    asys = audited_session(alice, log)
+    asys.create("/home/alice/run.log", mode=0o600, data=b"ok")
+    asys.open_read("/home/alice/run.log")
+    carol = cluster.login("carol").sg("fusion")
+    csys = audited_session(carol, log)
+    csys.create("/home/proj/fusion/shared.dat", mode=0o660, data=b"d")
+    dave = cluster.login("dave")
+    audited_session(dave, log).open_read("/home/proj/fusion/shared.dat")
+
+    # -- the scanner -------------------------------------------------------
+    mallory = cluster.login("mallory")
+    msys = audited_session(mallory, log)
+    for victim in ("alice", "bob", "carol"):
+        for f in ("data", "keys"):
+            try:
+                msys.open_read(f"/home/{victim}/{f}")
+            except KernelError:
+                pass
+    for node in ("c1", "c2"):
+        try:
+            cluster.ssh("mallory", node)
+        except KernelError:
+            pass
+    job = cluster.scheduler.running()[0]
+    shell = cluster.job_session(job)
+    shell.node.net.listen(shell.node.net.bind(shell.process, 5000))
+    try:
+        mallory.socket().connect(shell.node.name, 5000)
+    except KernelError:
+        pass
+
+    # -- staff escalation --------------------------------------------------
+    audited_seepid(cluster, cluster.login("sam"))
+
+    alerts = detect_probe_patterns(log)
+    return {
+        "events": len(log.events),
+        "counts": {k.value: v for k, v in log.counts().items()},
+        "alerts": alerts,
+        "mallory_uid": cluster.user("mallory").uid,
+        "legit_uids": {cluster.user(u).uid
+                       for u in ("alice", "bob", "carol", "dave")},
+    }
+
+
+def test_e20_scanner_flagged_not_users(benchmark):
+    out = benchmark.pedantic(run_day, rounds=1, iterations=1)
+    print_table("E20: one day of denial telemetry",
+                ["event kind", "count"],
+                [[k, v] for k, v in sorted(out["counts"].items())])
+    print_table("E20: probe alerts",
+                ["subject uid", "denials", "distinct targets", "kinds"],
+                [[a.subject_uid, a.denials, a.distinct_targets,
+                  "+".join(a.kinds)] for a in out["alerts"]])
+    benchmark.extra_info["counts"] = out["counts"]
+    alerts = out["alerts"]
+    assert len(alerts) == 1
+    assert alerts[0].subject_uid == out["mallory_uid"]
+    assert not {a.subject_uid for a in alerts} & out["legit_uids"]
+    # the scanner tripped at least filesystem + pam + network telemetry
+    assert len(alerts[0].kinds) >= 3
+    # and the escalation audit trail exists
+    assert out["counts"].get("admin", 0) == 1
+
+
+def test_e20_zero_false_positives_under_load(benchmark):
+    """A busy, entirely legitimate day produces no alerts at all."""
+
+    def busy_day():
+        cluster = Cluster.build(LLSC, n_compute=4,
+                                users=("alice", "bob", "carol", "dave"),
+                                projects={"fusion": ("carol", "dave")})
+        log = instrument_cluster(cluster)
+        for user in ("alice", "bob", "carol", "dave"):
+            cluster.submit_array(user, durations=[20.0] * 5)
+        cluster.run(until=100.0)
+        for user in ("alice", "bob"):
+            s = cluster.login(user)
+            sys = audited_session(s, log)
+            sys.create(f"/home/{user}/out.dat", mode=0o600, data=b"d")
+            sys.open_read(f"/home/{user}/out.dat")
+        return detect_probe_patterns(log), len(log.events)
+
+    alerts, events = benchmark.pedantic(busy_day, rounds=1, iterations=1)
+    print_table("E20: false-positive check",
+                ["alerts", "denial events"], [[len(alerts), events]])
+    assert alerts == []
+    assert events == 0  # legitimate work never trips enforcement

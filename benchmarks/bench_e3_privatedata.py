@@ -1,0 +1,82 @@
+"""E3 — scheduler information hiding with PrivateData (paper §IV-B).
+
+Claim reproduced: with PrivateData set, squeue/sacct show a non-privileged
+viewer only their own jobs/accounting (hiding "username, jobname, command,
+working directory path"); admins and designated operators see everything.
+
+Series printed: rows visible per viewer under PrivateData off/on.
+"""
+
+from repro import Cluster, LLSC, ablate
+from repro.sched.privatedata import PrivateData
+
+from _helpers import print_table
+
+
+def build_populated(private: bool):
+    cfg = LLSC if private else ablate(LLSC, private_data=PrivateData())
+    cluster = Cluster.build(cfg, n_compute=4,
+                            users=("alice", "bob", "carol"), staff=("sam",))
+    for i, user in enumerate(("alice", "bob", "carol")):
+        cluster.submit(user, name=f"{user}-job-{i}",
+                       command=f"./{user}-secret.sh", duration=5.0)
+        cluster.submit(user, name=f"{user}-long", duration=500.0)
+    cluster.run(until=50.0)  # short jobs done, long jobs running
+    return cluster
+
+
+def visibility(private: bool) -> dict[str, tuple[int, int]]:
+    """viewer -> (#squeue rows, #sacct rows)."""
+    cluster = build_populated(private)
+    view = cluster.scheduler_view
+    out = {}
+    for name in ("alice", "sam", "root"):
+        user = cluster.user(name)
+        out[name] = (len(view.squeue(user)), len(view.sacct(user)))
+    return out
+
+
+def test_e3_privatedata_matrix(benchmark):
+    result = benchmark.pedantic(
+        lambda: {p: visibility(p) for p in (False, True)},
+        rounds=1, iterations=1)
+    rows = []
+    for private, vis in result.items():
+        for viewer, (sq, sa) in vis.items():
+            rows.append([f"PrivateData={'on' if private else 'off'}",
+                         viewer, sq, sa])
+    print_table("E3: scheduler rows visible",
+                ["config", "viewer", "squeue rows", "sacct rows"], rows)
+    benchmark.extra_info["matrix"] = {
+        str(k): {vk: list(vv) for vk, vv in v.items()}
+        for k, v in result.items()}
+    off, on = result[False], result[True]
+    assert off["alice"] == (3, 3)          # everyone's rows visible
+    assert on["alice"] == (1, 1)           # own rows only
+    assert on["sam"] == off["sam"] == (3, 3)    # operator unaffected
+    assert on["root"] == off["root"] == (3, 3)  # admin unaffected
+
+
+def test_e3_no_metadata_leak_under_privatedata(benchmark):
+    def leaked_strings():
+        cluster = build_populated(True)
+        rows = cluster.scheduler_view.squeue(cluster.user("bob"))
+        recs = cluster.scheduler_view.sacct(cluster.user("bob"))
+        blob = " ".join(f"{r.user_name} {r.job_name} {r.command}"
+                        for r in rows)
+        blob += " ".join(f"{r.user_name} {r.job_name} {r.command}"
+                         for r in recs)
+        return [s for s in ("alice", "carol") if s in blob]
+
+    leaks = benchmark.pedantic(leaked_strings, rounds=1, iterations=1)
+    print_table("E3: foreign identifiers in bob's scheduler views",
+                ["leaked identifiers"], [[leaks or "none"]])
+    assert leaks == []
+
+
+def test_e3_squeue_query_cost(benchmark):
+    """Absolute cost of a filtered squeue (flat scan; no slow path)."""
+    cluster = build_populated(True)
+    user = cluster.user("alice")
+    rows = benchmark(cluster.scheduler_view.squeue, user)
+    assert len(rows) == 1

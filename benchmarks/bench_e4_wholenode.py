@@ -1,0 +1,143 @@
+"""E4 — node-sharing policy trade-off (paper §IV-B).
+
+Claim reproduced: per-job exclusive scheduling "results in poor utilization
+if a user is executing many bulk synchronous parallel jobs like parameter
+sweeps and Monte Carlo simulations"; LLSC's user-based whole-node policy
+restores utilization while keeping nodes single-user.
+
+Expected shape:
+    utilization(WHOLE_NODE_USER) ≈ utilization(SHARED) ≫ utilization(EXCLUSIVE)
+    wait(EXCLUSIVE) ≫ wait(others);   mixed-user node-time only under SHARED.
+
+Series printed: per policy × offered load — useful utilization, mean wait,
+completed jobs, mixed-user co-residency intervals.  Plus the backfill
+ablation from DESIGN.md §5.
+"""
+
+from collections import defaultdict
+
+from repro import Cluster, LLSC, ablate
+from repro.sched import JobState, NodeSharing
+from repro.sim import make_rng
+from repro.workloads import UserProfile, build_trace, submit_all
+
+from _helpers import print_table, write_series_csv
+
+HORIZON = 4_000.0
+N_NODES, CORES = 8, 16
+LOADS = (0.3, 0.6, 0.9)
+
+
+def count_mixed_intervals(jobs, horizon: float) -> int:
+    per_node = defaultdict(list)
+    for j in jobs:
+        if j.start_time is None:
+            continue
+        end = j.end_time if j.end_time is not None else horizon
+        for n in j.nodes:
+            per_node[n].append((j.start_time, end, j.uid))
+    mixed = 0
+    for intervals in per_node.values():
+        intervals.sort()
+        active: list[tuple[float, int]] = []
+        for start, end, uid in intervals:
+            active = [(e, u) for e, u in active if e > start]
+            mixed += sum(1 for _, u in active if u != uid)
+            active.append((end, uid))
+    return mixed
+
+
+def run_trial(policy: NodeSharing, load: float, *, backfill: bool = True,
+              seed: int = 42) -> dict[str, float]:
+    cluster = Cluster.build(
+        ablate(LLSC, node_policy=policy, backfill=backfill),
+        n_compute=N_NODES, cores=CORES,
+        users=("ana", "ben", "cho", "dia"))
+    profiles = [
+        UserProfile(cluster.user("ana"), "sweep", weight=2.0),
+        UserProfile(cluster.user("ben"), "sweep", weight=2.0),
+        UserProfile(cluster.user("cho"), "mc", weight=1.0),
+        UserProfile(cluster.user("dia"), "mpi", weight=1.0),
+    ]
+    trace = build_trace(profiles, make_rng(seed), horizon=HORIZON,
+                        total_cores=N_NODES * CORES, load=load)
+    jobs = submit_all(cluster.scheduler, trace.sorted())
+    cluster.run(until=HORIZON * 2)
+    done = [j for j in jobs if j.state is JobState.COMPLETED]
+    waits = [j.wait_time for j in done]
+    return {
+        "utilization": cluster.scheduler.utilization(HORIZON),
+        "occupancy": cluster.scheduler.occupancy(HORIZON),
+        "mean_wait": sum(waits) / max(len(waits), 1),
+        "completed": len(done),
+        "submitted": len(jobs),
+        "mixed": count_mixed_intervals(jobs, HORIZON * 2),
+    }
+
+
+def sweep_policies() -> dict[tuple[str, float], dict[str, float]]:
+    return {(policy.value, load): run_trial(policy, load)
+            for policy in NodeSharing for load in LOADS}
+
+
+def test_e4_policy_load_sweep(benchmark):
+    results = benchmark.pedantic(sweep_policies, rounds=1, iterations=1)
+    rows = [[p, load, f"{r['utilization']:.1%}", f"{r['occupancy']:.1%}",
+             f"{r['mean_wait']:.1f}", f"{r['completed']}/{r['submitted']}",
+             r["mixed"]]
+            for (p, load), r in sorted(results.items())]
+    print_table("E4: policy x offered load",
+                ["policy", "load", "useful util", "occupancy", "mean wait",
+                 "completed", "mixed-user pairs"], rows)
+    benchmark.extra_info["sweep"] = {f"{p}@{l}": r
+                                     for (p, l), r in results.items()}
+    csv = write_series_csv(
+        "e4_policy_load_sweep",
+        ["policy", "load", "useful_util", "occupancy", "mean_wait",
+         "completed", "submitted", "mixed_user_pairs"],
+        [[p, load, r["utilization"], r["occupancy"], r["mean_wait"],
+          r["completed"], r["submitted"], r["mixed"]]
+         for (p, load), r in sorted(results.items())])
+    print(f"series written to {csv}")
+    for load in LOADS:
+        shared = results[("shared", load)]
+        wnu = results[("whole_node_user", load)]
+        excl = results[("exclusive", load)]
+        # whole-node-user ~ shared (within 15% relative)
+        assert wnu["utilization"] >= 0.85 * shared["utilization"], load
+        # exclusive wastes the sweep-heavy mix
+        assert excl["utilization"] < 0.5 * shared["utilization"], load
+        # separation: only SHARED mixes users on nodes
+        assert wnu["mixed"] == 0 and excl["mixed"] == 0
+        assert shared["mixed"] > 0
+        # exclusive's occupancy is high even though useful work is low —
+        # the nodes are *held*, not *used*
+        assert excl["occupancy"] > excl["utilization"] * 2
+
+
+def test_e4_wait_time_shape(benchmark):
+    results = benchmark.pedantic(
+        lambda: {p.value: run_trial(p, 0.6) for p in NodeSharing},
+        rounds=1, iterations=1)
+    print_table("E4: mean wait at load 0.6",
+                ["policy", "mean wait (s)"],
+                [[p, f"{r['mean_wait']:.1f}"] for p, r in results.items()])
+    assert results["exclusive"]["mean_wait"] > \
+        10 * max(results["shared"]["mean_wait"], 1.0)
+    assert results["whole_node_user"]["mean_wait"] < \
+        results["exclusive"]["mean_wait"] / 10
+
+
+def test_e4_backfill_ablation(benchmark):
+    """DESIGN.md §5 ablation: backfill matters under whole-node-user —
+    without it, one wide pending MPI job head-blocks the sweep stream."""
+    results = benchmark.pedantic(
+        lambda: {bf: run_trial(NodeSharing.WHOLE_NODE_USER, 0.6,
+                               backfill=bf) for bf in (True, False)},
+        rounds=1, iterations=1)
+    print_table("E4-ablation: whole-node-user with/without backfill",
+                ["backfill", "useful util", "mean wait", "completed"],
+                [[bf, f"{r['utilization']:.1%}", f"{r['mean_wait']:.1f}",
+                  r["completed"]] for bf, r in results.items()])
+    assert results[True]["utilization"] >= results[False]["utilization"]
+    assert results[True]["completed"] >= results[False]["completed"]

@@ -1,0 +1,74 @@
+"""E5 — pam_slurm compute-node ssh gating (paper §IV-B).
+
+Claim reproduced: "users can only ssh into compute nodes on which they have
+one or more jobs currently executing."  The matrix covers: job on the node,
+job on a different node, no job, after the job ended, login-node access,
+and root — under BASELINE and LLSC.
+"""
+
+from repro import BASELINE, Cluster, LLSC
+from repro.kernel.errors import KernelError
+
+from _helpers import print_table
+
+CASES = ("job on node", "job elsewhere", "no job", "after job end",
+         "login node", "root anywhere")
+
+
+def ssh_matrix(config) -> dict[str, bool]:
+    """case -> ssh succeeded."""
+    out: dict[str, bool] = {}
+
+    def attempt(user, node) -> bool:
+        try:
+            cluster.ssh(user, node)
+            return True
+        except KernelError:
+            return False
+
+    cluster = Cluster.build(config, n_compute=3, users=("alice", "bob"))
+    job = cluster.submit("alice", ntasks=1, duration=100.0)
+    cluster.run(until=1.0)
+    on_node = job.nodes[0]
+    other = next(n for n in cluster.scheduler.nodes if n != on_node)
+    out["job on node"] = attempt("alice", on_node)
+    out["job elsewhere"] = attempt("alice", other)
+    out["no job"] = attempt("bob", on_node)
+    out["login node"] = attempt("bob", "login1")
+    out["root anywhere"] = attempt("root", other)
+    cluster.run(until=200.0)  # job ends
+    out["after job end"] = attempt("alice", on_node)
+    return out
+
+
+def test_e5_ssh_matrix(benchmark):
+    results = benchmark.pedantic(
+        lambda: {cfg.name: ssh_matrix(cfg) for cfg in (BASELINE, LLSC)},
+        rounds=1, iterations=1)
+    rows = [[case,
+             "allowed" if results["BASELINE"][case] else "denied",
+             "allowed" if results["LLSC"][case] else "denied"]
+            for case in CASES]
+    print_table("E5: ssh admission matrix", ["case", "BASELINE", "LLSC"],
+                rows)
+    benchmark.extra_info["matrix"] = results
+    base, llsc = results["BASELINE"], results["LLSC"]
+    assert all(base.values())  # stock: ssh anywhere
+    assert llsc == {
+        "job on node": True,
+        "job elsewhere": False,
+        "no job": False,
+        "after job end": False,
+        "login node": True,
+        "root anywhere": True,
+    }
+
+
+def test_e5_pam_decision_cost(benchmark):
+    """Cost of one PAM-gated session open (account check + smask)."""
+    cluster = Cluster.build(LLSC, n_compute=1, users=("alice",))
+    job = cluster.submit("alice", duration=10_000.0)
+    cluster.run(until=1.0)
+    node = job.nodes[0]
+    session = benchmark(cluster.ssh, "alice", node)
+    assert session.node.name == node

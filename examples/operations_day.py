@@ -1,0 +1,134 @@
+#!/usr/bin/env python3
+"""An operations day: software publishing, data movement, and watching the
+denial telemetry — the staff-side view of enhanced user separation.
+
+Walks the workflows Sections IV-A/IV-C/IV-G give to support staff:
+
+1. sam publishes a site software stack (smask_relax + environment modules);
+2. alice moves data through a DTN and onto her job's compute node (scp
+   across PAM + UBF + DAC);
+3. mallory probes the system and lights up the security event log;
+4. sam, with seepid, attributes the load and reads the probe alert;
+5. the quarterly container-hygiene sweep finds the litter.
+
+Run:  python examples/operations_day.py
+"""
+
+from repro import Cluster, LLSC
+from repro.containers import (
+    ImageFile,
+    build_image,
+    hygiene_report,
+    save_image,
+    scan_stale_containers,
+)
+from repro.core.tools import attribute_load
+from repro.kernel.errors import KernelError
+from repro.modules import ModuleFile, ModuleSystem, publish_module
+from repro.monitor import (
+    audited_seepid,
+    audited_session,
+    audited_smask_relax,
+    detect_probe_patterns,
+    instrument_cluster,
+)
+from repro.shell import module_avail_cmd, sinfo_cmd
+from repro.transfer import scp
+
+DAY = 86_400.0
+
+
+def main() -> None:
+    cluster = Cluster.build(
+        LLSC, n_compute=4, n_debug=1, n_dtn=1,
+        users=("alice", "bob", "mallory"), staff=("sam",))
+    log = instrument_cluster(cluster)
+
+    print("== cluster shape ==")
+    print(sinfo_cmd(cluster))
+
+    # ----------------------------------------------------- 1. publishing
+    print("\n== sam publishes anaconda/2024a (smask_relax + modules) ==")
+    sam = audited_smask_relax(cluster, cluster.login("sam"))
+    publish_module(sam.node, sam.creds, "/scratch/modulefiles",
+                   ModuleFile(name="anaconda", version="2024a",
+                              setenv={"CONDA_ROOT": "/sw/ana"},
+                              prepend_path={"PATH": ("/sw/ana/bin",)},
+                              description="site python stack"))
+    alice = cluster.login("alice")
+    print("alice's `module avail`:")
+    print(module_avail_cmd(alice, ModuleSystem(alice.node)))
+    ModuleSystem(alice.node).load(alice.process, "anaconda")
+    print(f"alice's PATH now starts with: "
+          f"{alice.process.environ['PATH'].split(':')[0]}")
+
+    # ----------------------------------------------------- 2. data movement
+    print("\n== alice stages data: laptop -> DTN -> compute node ==")
+    alice.sys.create("/tmp/training-set.bin", mode=0o600, data=b"D" * 4096)
+    res1 = scp(cluster, alice, "/tmp/training-set.bin",
+               "dtn1:/scratch/training-set.bin")
+    job = cluster.submit("alice", name="train", duration=1000.0)
+    cluster.run(until=1.0)
+    res2 = scp(cluster, alice, "dtn1:/scratch/training-set.bin",
+               f"{job.nodes[0]}:/tmp/training-set.bin")
+    print(f"  staged {res1.bytes_moved}B to DTN, {res2.bytes_moved}B to "
+          f"{job.nodes[0]} (job {job.job_id} running there)")
+    try:
+        scp(cluster, cluster.login("bob"),
+            "dtn1:/scratch/training-set.bin", "/tmp/loot")
+    except KernelError as e:
+        print(f"  bob tries to fetch it from the DTN -> BLOCKED {e.errname}")
+
+    # ----------------------------------------------------- 3. the probe
+    print("\n== mallory goes probing ==")
+    mallory = cluster.login("mallory")
+    msys = audited_session(mallory, log)
+    for victim in ("alice", "bob"):
+        for f in ("data", "keys", "notes"):
+            try:
+                msys.open_read(f"/home/{victim}/{f}")
+            except KernelError:
+                pass
+    for node in ("c1", "c2"):
+        try:
+            cluster.ssh("mallory", node)
+        except KernelError:
+            pass
+    print(f"  {len(log.events)} denial events recorded")
+
+    # ----------------------------------------------------- 4. staff response
+    print("\n== sam investigates (seepid + attribution + alerts) ==")
+    sam2 = audited_seepid(cluster, cluster.login("sam"))
+    report = attribute_load(cluster, sam2)
+    agg = report.pop("_aggregate")
+    print(f"  aggregate: {agg['running_procs']} running procs, "
+          f"{agg['used_mb']}MB in use")
+    for user, r in sorted(report.items()):
+        print(f"  {user:<8} procs={r['procs']} rss={r['rss_mb']}M "
+              f"jobs={r['running_jobs']} nodes={r['nodes']}")
+    for alert in detect_probe_patterns(log):
+        name = cluster.userdb.user(alert.subject_uid).name
+        print(f"  ALERT: {name} — {alert.denials} denials across "
+              f"{alert.distinct_targets} targets ({'+'.join(alert.kinds)})")
+
+    # ----------------------------------------------------- 5. hygiene sweep
+    print("\n== quarterly container-hygiene sweep ==")
+    for user in ("alice", "bob"):
+        s = cluster.login(user)
+        ws = cluster.add_workstation(user)
+        img = build_image(ws, s.user, "old-env",
+                          [ImageFile("/opt", is_dir=True)])
+        save_image(s.node, s.creds, f"/home/{user}/old-env.sif", img)
+    cluster.run(until=300 * DAY)
+    stale = scan_stale_containers(cluster.login_nodes[0], now=300 * DAY,
+                                  stale_after=180 * DAY)
+    rep = hygiene_report(stale)
+    print(f"  stale containers: {rep['stale_count']} "
+          f"({rep['reclaimable_bytes']}B reclaimable), "
+          f"oldest: {rep['oldest']}")
+
+    print("\nOperations day complete.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,130 @@
+#!/usr/bin/env python3
+"""A day in the life on a "personal HPC": multi-user, zero visible neighbors.
+
+Section V's summary: "for users, it looks like they're the only one on the
+HPC system."  This example runs three concurrent research workflows —
+
+* alice: a parameter sweep plus an interactive Jupyter session via the
+  portal,
+* bob: an MPI simulation (and some nosy probing between runs),
+* carol & dave: a two-person project collaborating through the approved
+  'fusion' project group —
+
+and shows each user's view of the system contains only their own activity,
+while everything they are *supposed* to do (their own jobs, their own apps,
+their group's shared data) works untouched.
+
+Run:  python examples/personal_hpc.py
+"""
+
+import numpy as np
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import KernelError
+from repro.portal.webapp import launch_webapp
+from repro.sched import JobState
+from repro.workloads import MPICommunicator
+
+
+def main() -> None:
+    cluster = Cluster.build(
+        LLSC, n_compute=6, cores=16, gpus_per_node=1,
+        users=("alice", "bob", "carol", "dave"), staff=("sam",),
+        projects={"fusion": ("carol", "dave")})
+
+    # ---------------------------------------------------------------- alice
+    print("== alice: parameter sweep + Jupyter ==")
+    sweep = [cluster.submit("alice", name=f"sweep-{i}", duration=50.0 + i)
+             for i in range(8)]
+    nb_job = cluster.submit("alice", name="jupyter", duration=2000.0)
+    cluster.run(until=2.0)
+    shell = cluster.job_session(nb_job)
+    app = launch_webapp(shell.node, shell.process, 8888, "alice-notebook")
+    cluster.portal.register(app)
+    token = cluster.portal.login("alice")
+    page = cluster.portal.connect(token.token, app.app_id)
+    print(f"  alice opens her notebook through the portal: {page[:32]!r}...")
+    running = [j for j in sweep if j.state is JobState.RUNNING]
+    print(f"  {len(running)} sweep tasks running, all on alice-only nodes: "
+          f"{sorted({n for j in running for n in j.nodes})}")
+
+    # ------------------------------------------------------------------ bob
+    print("\n== bob: 4-rank MPI job (UBF passes same-user traffic) ==")
+    bjob = cluster.submit("bob", name="mpi-sim", ntasks=4, duration=2000.0)
+    cluster.run(until=3.0)
+    tasks = []
+    for alloc in bjob.allocations:
+        node = cluster.compute(alloc.node).node
+        for proc in node.procs.processes():
+            if proc.job_id == bjob.job_id:
+                tasks.append((node, proc))
+    comm = MPICommunicator(cluster.fabric, tasks[:4])
+    result = comm.allreduce([np.full(4, float(r + 1))
+                             for r in range(comm.size)])
+    print(f"  allreduce across {comm.size} ranks on "
+          f"{sorted({n.name for n, _ in tasks[:4]})}: {result}")
+
+    print("\n== bob gets nosy: every cross-user probe fails ==")
+    bob = cluster.login("bob")
+    probes = {
+        "ps (sees only himself)":
+            lambda: sorted({r.uid for r in bob.sys.ps()}),
+        "squeue (sees only his jobs)":
+            lambda: sorted({r.user_name for r in
+                            cluster.scheduler_view.squeue(bob.user)}),
+        "read alice's home":
+            lambda: bob.sys.listdir("/home/alice"),
+        "connect to alice's notebook port":
+            lambda: bob.socket().connect(app.node.name, 8888),
+        "fetch alice's notebook via portal":
+            lambda: cluster.portal.connect(
+                cluster.portal.login("bob").token, app.app_id),
+    }
+    for label, fn in probes.items():
+        try:
+            print(f"  {label:<38} -> {fn()!r}")
+        except KernelError as e:
+            print(f"  {label:<38} -> BLOCKED {e.errname}")
+
+    # --------------------------------------------------------- carol & dave
+    print("\n== carol & dave: sanctioned sharing via the fusion group ==")
+    carol = cluster.login("carol").sg("fusion")
+    carol.sys.create("/home/proj/fusion/tokamak.h5", mode=0o660,
+                     data=b"plasma profiles v3")
+    dave = cluster.login("dave")
+    print(f"  dave reads the shared dataset: "
+          f"{dave.sys.open_read('/home/proj/fusion/tokamak.h5')!r}")
+    carol_svc_job = cluster.submit("carol", name="param-server",
+                                   duration=2000.0)
+    cluster.run(until=4.0)
+    cshell = cluster.job_session(carol_svc_job)
+    cshell.sys.newgrp(cluster.userdb.group("fusion").gid)  # sg fusion
+    svc = cshell.node.net.listen(cshell.node.net.bind(cshell.process, 9000))
+    conn = dave.socket().connect(cshell.node.name, 9000)
+    print(f"  dave connects to carol's group service (listener egid=fusion):"
+          f" open={conn.open}")
+    alice = cluster.login("alice")
+    try:
+        alice.socket().connect(cshell.node.name, 9000)
+    except KernelError as e:
+        print(f"  alice (not in fusion) same connect -> BLOCKED {e.errname}")
+
+    # ------------------------------------------------------------ staff view
+    print("\n== sam (support staff) troubleshoots with seepid ==")
+    from repro import seepid
+    sam = cluster.login("sam")
+    before = len(sam.sys.ps())
+    seepid(cluster, sam)
+    after = len(sam.sys.ps())
+    print(f"  processes visible to sam: {before} before seepid, "
+          f"{after} after (full system view for troubleshooting)")
+
+    cluster.run(until=3000.0)
+    done = sum(1 for j in sweep if j.state is JobState.COMPLETED)
+    print(f"\nAll work finished: {done}/8 sweep jobs completed, "
+          f"utilization {cluster.scheduler.utilization():.1%}.")
+    print("Four users, one cluster — and each saw a personal HPC.")
+
+
+if __name__ == "__main__":
+    main()

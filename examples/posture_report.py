@@ -1,0 +1,41 @@
+#!/usr/bin/env python3
+"""Generate the sponsor-facing security posture report (Markdown).
+
+Combines the four evidence sources — deployed configuration, fleet
+compliance audit, the 33-probe adversarial battery, and live denial
+telemetry — into one document, for both the LLSC and BASELINE presets so
+the contrast is visible.
+
+Run:  python examples/posture_report.py            # prints LLSC report
+      python examples/posture_report.py baseline   # ... the stock cluster
+"""
+
+import sys
+
+from repro import BASELINE, LLSC, run_battery
+from repro.core import check_compliance, posture_report, standard_cluster
+from repro.kernel.errors import KernelError
+from repro.monitor import audited_session, instrument_cluster
+
+
+def main() -> None:
+    config = BASELINE if "baseline" in sys.argv[1:] else LLSC
+    cluster = standard_cluster(config)
+    log = instrument_cluster(cluster)
+
+    # generate a little real activity (and telemetry)
+    cluster.submit("alice", ntasks=2, duration=100.0)
+    cluster.run(until=1.0)
+    nosy = audited_session(cluster.login("bob"), log)
+    try:
+        nosy.open_read("/home/alice/data")
+    except KernelError:
+        pass
+
+    audit = run_battery(config)
+    compliance = check_compliance(cluster)
+    print(posture_report(cluster, audit=audit, compliance=compliance))
+
+
+if __name__ == "__main__":
+    main()

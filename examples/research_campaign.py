@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""A research campaign, end to end: the user-side view of the system.
+
+alice runs a realistic week of work entirely through the user-facing
+surfaces — module load, sbatch option strings, job arrays, batch scripts
+that compute with numpy and write results, a GPU training job, and the
+squeue/sacct/sreport views of her own activity — while the separation
+machinery stays invisible underneath (exactly the paper's goal: "for users,
+it looks like they're the only one on the HPC system").
+
+Run:  python examples/research_campaign.py
+"""
+
+import numpy as np
+
+from repro import Cluster, LLSC, smask_relax
+from repro.modules import ModuleFile, ModuleSystem, publish_module
+from repro.shell import sacct_cmd, sbatch, scontrol_show_job, sreport_cmd, squeue_cmd
+from repro.workloads.apps import (
+    collect_sweep_results,
+    submit_monte_carlo_pi,
+    submit_sweep,
+    submit_training,
+)
+
+
+def main() -> None:
+    cluster = Cluster.build(LLSC, n_compute=6, gpus_per_node=1,
+                            users=("alice", "bob"), staff=("sam",))
+    # site software, published once by staff
+    sam = smask_relax(cluster, cluster.login("sam"))
+    publish_module(sam.node, sam.creds, "/scratch/modulefiles",
+                   ModuleFile(name="science-stack", version="2024a",
+                              prepend_path={"PATH": ("/sw/stack/bin",)}))
+
+    alice = cluster.login("alice")
+    ModuleSystem(alice.node).load(alice.process, "science-stack")
+    print(f"module loaded; PATH head = "
+          f"{alice.process.environ['PATH'].split(':')[0]}")
+
+    # -------------------------------------------------- sbatch submissions
+    print("\n== submissions (sbatch option strings) ==")
+    out, mpi_jobs = sbatch(alice, "-J mpi-sim -n 8 -c 2 -t 2:00:00 "
+                                  "mpirun ./simulate")
+    print(f"  {out}")
+    out, arr = sbatch(alice, "-J quick-scan --array=0-5 -t 15 ./scan.sh")
+    print(f"  {out}")
+
+    # application-library jobs (batch scripts doing real numpy work)
+    pi_job = submit_monte_carlo_pi(cluster, "alice", samples=500_000,
+                                   seed=11)
+    sweep = submit_sweep(cluster, "alice",
+                         parameters=[0.5, 1.0, 2.0, 3.0])
+    training = submit_training(cluster, "alice", steps=200)
+    # bob is busy too (invisible to alice throughout)
+    sbatch(cluster.login("bob"), "-J bob-work -n 4 -t 1:00:00 ./bobsim")
+
+    cluster.run(until=10.0)
+    print("\n== alice's squeue (her personal HPC) ==")
+    print(squeue_cmd(alice))
+
+    print("\n== scontrol show job (her MPI job) ==")
+    print(scontrol_show_job(alice, mpi_jobs[0].job_id))
+
+    # -------------------------------------------------- let the week run
+    cluster.run(until=10_000.0)
+
+    print("\n== results ==")
+    pi_text = alice.sys.open_read("/home/alice/pi-estimate.txt").decode()
+    print(f"  Monte Carlo: pi ~= {pi_text.split()[0]} "
+          f"(true {np.pi:.6f})")
+    results = collect_sweep_results(cluster, "alice")
+    best = results[np.argmax(results[:, 2])]
+    print(f"  sweep: best parameter {best[1]} (score {best[2]:.4f}) "
+          f"of {len(results)} evaluated")
+    out = alice.sys.open_read(training.job.stdout_path).decode().strip()
+    print(f"  training stdout: {out!r}")
+    node = cluster.compute(training.job.nodes[0])
+    idx = training.job.allocations[0].gpu_indices[0]
+    print(f"  GPU {idx} scrubbed after training: "
+          f"dirty={node.gpu(idx).dirty}")
+
+    print("\n== accounting (sacct / sreport, own usage only) ==")
+    print(sacct_cmd(alice))
+    print()
+    print(sreport_cmd(alice, t_end=10_000.0, n_buckets=5))
+
+    print("\nCampaign complete — and alice never saw bob at all.")
+
+
+if __name__ == "__main__":
+    main()

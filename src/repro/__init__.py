@@ -1,0 +1,44 @@
+"""repro — reproduction of "HPC with Enhanced User Separation" (SC 2024).
+
+A simulated multi-tenant HPC cluster (Linux kernel semantics, Slurm-like
+scheduler, IP fabric with a user-based firewall, GPUs, containers, web
+portal) plus the LLSC separation controls the paper deploys, an attack
+battery that measures cross-user leakage, and benchmark harnesses for every
+evaluation claim.
+
+Quick start::
+
+    from repro import Cluster, LLSC
+
+    cluster = Cluster.build(LLSC, n_compute=4, users=("alice", "bob"))
+    alice = cluster.login("alice")
+    alice.sys.ps()          # only alice's own processes are visible
+
+See README.md and EXPERIMENTS.md.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: F401
+    ALL_ATTACKS,
+    AuditReport,
+    BASELINE,
+    Cluster,
+    LLSC,
+    SeparationConfig,
+    Session,
+    ablate,
+    blast_radius_trial,
+    run_battery,
+    seepid,
+    smask_relax,
+    standard_cluster,
+)
+from repro.kernel import UserDB  # noqa: F401
+
+__all__ = [
+    "ALL_ATTACKS", "AuditReport", "BASELINE", "Cluster", "LLSC",
+    "SeparationConfig", "Session", "ablate", "blast_radius_trial",
+    "run_battery", "seepid", "smask_relax", "standard_cluster", "UserDB",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""HPC container substrate: images (built off-cluster) and an unprivileged
+runtime with host passthrough."""
+
+from repro.containers.hygiene import (
+    StaleContainer,
+    hygiene_report,
+    load_image,
+    save_image,
+    scan_stale_containers,
+)
+from repro.containers.image import ContainerImage, ImageFile, build_image
+from repro.containers.runtime import (
+    Container,
+    ContainerSyscalls,
+    SingularityRuntime,
+)
+
+__all__ = [
+    "StaleContainer", "hygiene_report", "load_image", "save_image",
+    "scan_stale_containers",
+    "ContainerImage", "ImageFile", "build_image",
+    "Container", "ContainerSyscalls", "SingularityRuntime",
+]

@@ -1,0 +1,96 @@
+"""Container image persistence + the stale-container hygiene scanner.
+
+Section IV-G's operational complaint: "because of the ease with which they
+can be shared among shared-group users, containers tend to get proliferated
+across central file systems by sharing, cloning, and modifying them.  After
+a few years, there are just a lot of old, unused containers littering the
+home directories and shared group areas of central file systems.  Users do
+not remember why they are still keeping them."
+
+``save_image``/``load_image`` store images as ``.sif`` files in the VFS
+(so they proliferate exactly like real ones), and
+:func:`scan_stale_containers` is the periodic housekeeping report LLSC-style
+operations teams run: every ``.sif`` on the central filesystems, its owner,
+size, and how long since it was last *used* (file atime, which
+``load_image`` refreshes).
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+from repro.containers.image import ContainerImage
+from repro.kernel.errors import InvalidArgument
+from repro.kernel.node import LinuxNode, ROOT_CREDS
+from repro.kernel.users import Credentials
+from repro.kernel.vfs import FileKind
+
+SIF_SUFFIX = ".sif"
+
+
+def save_image(node: LinuxNode, creds: Credentials, path: str,
+               image: ContainerImage) -> None:
+    """Serialise *image* to a ``.sif`` file (subject to normal DAC/smask)."""
+    if not path.endswith(SIF_SUFFIX):
+        raise InvalidArgument(f"container images are saved as *{SIF_SUFFIX}")
+    node.vfs.create(path, creds, mode=0o640, data=pickle.dumps(image))
+
+
+def load_image(node: LinuxNode, creds: Credentials,
+               path: str) -> ContainerImage:
+    """Read a ``.sif`` back (refreshes atime → counts as 'used')."""
+    blob = node.vfs.read(path, creds)
+    obj = pickle.loads(blob)
+    if not isinstance(obj, ContainerImage):
+        raise InvalidArgument(f"{path!r} is not a container image")
+    return obj
+
+
+@dataclass(frozen=True)
+class StaleContainer:
+    path: str
+    owner_uid: int
+    size_bytes: int
+    idle_time: float  # now - atime
+
+
+def scan_stale_containers(node: LinuxNode, *, now: float,
+                          stale_after: float,
+                          roots: tuple[str, ...] = ("/home", "/scratch"),
+                          ) -> list[StaleContainer]:
+    """Housekeeping sweep (run as root): every ``.sif`` under *roots* whose
+    atime is older than *stale_after*.  Sorted oldest-first."""
+    stale: list[StaleContainer] = []
+    for root in roots:
+        try:
+            entries = node.vfs.walk(root, ROOT_CREDS)
+        except Exception:
+            continue
+        for dirpath, names in entries:
+            for name in names:
+                if not name.endswith(SIF_SUFFIX):
+                    continue
+                full = f"{dirpath}/{name}"
+                st = node.vfs.lstat(full, ROOT_CREDS)
+                if st.kind is not FileKind.FILE:
+                    continue
+                idle = now - st.atime
+                if idle >= stale_after:
+                    stale.append(StaleContainer(
+                        path=full, owner_uid=st.uid,
+                        size_bytes=st.size, idle_time=idle))
+    return sorted(stale, key=lambda s: -s.idle_time)
+
+
+def hygiene_report(stale: list[StaleContainer]) -> dict[str, object]:
+    """Aggregate for the operations dashboard."""
+    by_owner: dict[int, int] = {}
+    for s in stale:
+        by_owner[s.owner_uid] = by_owner.get(s.owner_uid, 0) + 1
+    return {
+        "stale_count": len(stale),
+        "reclaimable_bytes": sum(s.size_bytes for s in stale),
+        "by_owner": by_owner,
+        "oldest": stale[0].path if stale else None,
+    }

@@ -1,0 +1,64 @@
+"""Container images (Singularity/Apptainer-style, paper Section IV-G).
+
+"To avoid granting any administrative privileges, users cannot create and
+populate their Singularity containers on the HPC system; they must use their
+own computer where they have some administrative privileges in order to do
+so."
+
+An image is an immutable snapshot of a root filesystem tree.  Building one
+requires root on the *build host*: allowed on a user's own
+:class:`~repro.kernel.node.NodeRole.WORKSTATION`, refused on any cluster
+node.  Images are shared as ordinary files (a ``.sif``), so they land in the
+central filesystem like any other data — which is how the paper's
+"old, unused containers littering the home directories" problem arises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.errors import PermissionError_
+from repro.kernel.node import LinuxNode, NodeRole
+from repro.kernel.users import User
+
+
+@dataclass(frozen=True)
+class ImageFile:
+    path: str  # absolute path inside the container
+    data: bytes = b""
+    mode: int = 0o755
+    is_dir: bool = False
+
+
+@dataclass(frozen=True)
+class ContainerImage:
+    """An immutable encapsulated software environment."""
+
+    name: str
+    built_by: str
+    files: tuple[ImageFile, ...] = ()
+    labels: dict[str, str] = field(default_factory=dict)
+
+    def lookup(self, path: str) -> ImageFile | None:
+        for f in self.files:
+            if f.path == path:
+                return f
+        return None
+
+
+def build_image(build_host: LinuxNode, builder: User, name: str,
+                files: list[ImageFile], *,
+                labels: dict[str, str] | None = None) -> ContainerImage:
+    """``apptainer build``: requires effective root on the build host.
+
+    On a WORKSTATION the builder has administrative rights over their own
+    machine; on cluster nodes (login/compute/...) unprivileged users are
+    refused — DoD requirements forbid granting them any admin privileges.
+    """
+    if build_host.role is not NodeRole.WORKSTATION and not builder.is_root:
+        raise PermissionError_(
+            f"container build on {build_host.name} ({build_host.role.value}) "
+            "requires root; build on your own workstation instead"
+        )
+    return ContainerImage(name=name, built_by=builder.name,
+                          files=tuple(files), labels=dict(labels or {}))

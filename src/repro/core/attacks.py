@@ -1,0 +1,722 @@
+"""Cross-user observation/interaction attack battery.
+
+Every probe models one concrete way users can observe or interact on a
+shared HPC system — the paper's Section IV walks through them area by area,
+and Section V claims the composed LLSC configuration closes all of them
+except three documented residuals (file names in world-writable
+directories, abstract-namespace UNIX domain sockets, and native-IB-CM
+RDMA).
+
+Each :class:`Attack` builds its own scenario on a fresh cluster (victim
+``alice``, attacker ``bob``, project pair ``carol``/``dave``, staff ``sam``)
+and reports whether information or interaction crossed the user boundary.
+``residual=True`` marks probes the paper itself expects to keep working;
+``intended=True`` marks the *sanctioned* sharing path (approved project
+group), which must keep working — separation that breaks it would be wrong.
+
+The audit driver (:mod:`repro.core.audit`) runs the battery against any
+:class:`~repro.core.config.SeparationConfig` and aggregates the leakage
+matrix of experiment E14.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.containers.image import ImageFile, build_image
+from repro.core.cluster import Cluster, Session
+from repro.kernel.errors import KernelError
+from repro.kernel.vfs import AclEntry
+from repro.net.firewall import Proto
+
+SECRET = b"SECRET-dataset-42"
+ARGV_SECRET = "--db-password=hunter2"
+
+
+@dataclass(frozen=True)
+class AttackResult:
+    name: str
+    area: str
+    leaked: bool
+    residual: bool
+    intended: bool
+    detail: str
+
+
+class Attack:
+    """Base class: subclasses set metadata and implement :meth:`attempt`."""
+
+    name: str = "?"
+    area: str = "?"
+    residual: bool = False
+    intended: bool = False
+
+    def attempt(self, cluster: Cluster) -> tuple[bool, str]:
+        raise NotImplementedError
+
+    def run(self, cluster: Cluster) -> AttackResult:
+        leaked, detail = self.attempt(cluster)
+        return AttackResult(name=self.name, area=self.area, leaked=leaked,
+                            residual=self.residual, intended=self.intended,
+                            detail=detail)
+
+
+# --------------------------------------------------------------------------
+# helpers
+# --------------------------------------------------------------------------
+
+def _login_pair(cluster: Cluster) -> tuple[Session, Session]:
+    """Victim and attacker shells on the shared login node."""
+    return cluster.login("alice"), cluster.login("bob")
+
+
+def _try(fn, *args, **kwargs) -> tuple[bool, str]:
+    """Run a probe step: (succeeded, detail)."""
+    try:
+        out = fn(*args, **kwargs)
+        return True, f"succeeded: {out!r}" if out is not None else "succeeded"
+    except KernelError as e:
+        return False, f"blocked: {e}"
+
+
+# --------------------------------------------------------------------------
+# IV-A processes
+# --------------------------------------------------------------------------
+
+class PsSnoop(Attack):
+    name = "ps-snoop"
+    area = "processes"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.spawn_child(["python", "train.py"])
+        rows = attacker.sys.ps()
+        seen = [r for r in rows if r.uid == victim.user.uid]
+        return bool(seen), f"attacker sees {len(seen)} victim processes"
+
+
+class ProcArgvSecret(Attack):
+    """CVE-2020-27746 shape: a credential passed on a command line."""
+
+    name = "proc-argv-secret"
+    area = "processes"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        proc = victim.sys.spawn_child(["mysql", ARGV_SECRET]).process
+        try:
+            cmdline = attacker.sys.read_proc_cmdline(proc.pid)
+            return ARGV_SECRET in cmdline, "argv readable"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class ProcUidEnumeration(Attack):
+    name = "proc-uid-enumeration"
+    area = "processes"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.spawn_child(["octave", "analysis.m"])
+        uids = {r.uid for r in attacker.sys.ps()}
+        return victim.user.uid in uids, f"visible uids: {sorted(uids)}"
+
+
+# --------------------------------------------------------------------------
+# IV-B scheduler
+# --------------------------------------------------------------------------
+
+class SqueueSnoop(Attack):
+    name = "squeue-snoop"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        cluster.submit("alice", name="secret-proj", duration=100.0,
+                       command="./classified.sh")
+        cluster.run(until=1.0)
+        rows = cluster.scheduler_view.squeue(cluster.user("bob"))
+        seen = [r for r in rows if r.user_name == "alice"]
+        return bool(seen), f"attacker squeue shows {len(seen)} victim jobs"
+
+
+class SqueueMetadata(Attack):
+    name = "squeue-metadata"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        cluster.submit("alice", name="tape-17-decrypt", duration=100.0,
+                       command="./decrypt.sh --key-id 99")
+        cluster.run(until=1.0)
+        rows = cluster.scheduler_view.squeue(cluster.user("bob"))
+        leaks = [r for r in rows
+                 if "decrypt" in r.command or "tape" in r.job_name]
+        return bool(leaks), "job name/command visible to stranger"
+
+
+class SacctUsage(Attack):
+    name = "sacct-usage"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        cluster.submit("alice", name="quarterly", duration=5.0)
+        cluster.run(until=10.0)
+        recs = cluster.scheduler_view.sacct(cluster.user("bob"))
+        seen = [r for r in recs if r.user_name == "alice"]
+        return bool(seen), f"attacker sacct shows {len(seen)} victim records"
+
+
+class SshIdleNode(Attack):
+    name = "ssh-without-job"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        node = cluster.compute_nodes[0].name
+        return _try(cluster.ssh, "bob", node)
+
+
+class CoResidency(Attack):
+    name = "co-residency"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        a = cluster.submit("alice", ntasks=2, duration=100.0)
+        b = cluster.submit("bob", ntasks=2, duration=100.0)
+        cluster.run(until=1.0)
+        shared = set(a.nodes) & set(b.nodes)
+        return bool(shared), f"shared nodes: {sorted(shared)}"
+
+
+# --------------------------------------------------------------------------
+# IV-C filesystems
+# --------------------------------------------------------------------------
+
+class ChmodWorldHome(Attack):
+    name = "chmod-world-home"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        path = "/home/alice/leak.txt"
+        victim.sys.create(path, mode=0o600, data=SECRET)
+        try:
+            victim.sys.chmod(path, 0o666)
+            victim.sys.chmod("/home/alice", 0o755)  # also open the dir
+        except KernelError:
+            pass  # chmod of the home dir may be refused; probe the read
+        try:
+            return attacker.sys.open_read(path) == SECRET, "content read"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class TmpWorldFile(Attack):
+    name = "tmp-world-file"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.umask(0o000)
+        victim.sys.create("/tmp/alice-drop", mode=0o666, data=SECRET)
+        try:
+            return attacker.sys.open_read("/tmp/alice-drop") == SECRET, \
+                "content read"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class DevShmFile(Attack):
+    name = "dev-shm-file"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.umask(0o000)
+        victim.sys.create("/dev/shm/alice-ipc", mode=0o666, data=SECRET)
+        try:
+            return attacker.sys.open_read("/dev/shm/alice-ipc") == SECRET, \
+                "content read"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class AclUserGrant(Attack):
+    name = "acl-user-grant"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        path = "/home/alice/acl-share.txt"
+        victim.sys.create(path, mode=0o600, data=SECRET)
+        try:
+            victim.sys.setfacl(path, AclEntry("user", attacker.user.uid, 4))
+        except KernelError as e:
+            return False, f"setfacl blocked: {e}"
+        try:
+            # attacker still needs a path to it: victim also tries to open
+            # the home dir for traversal
+            victim.sys.setfacl("/home/alice",
+                               AclEntry("user", attacker.user.uid, 5))
+        except KernelError:
+            pass
+        try:
+            return attacker.sys.open_read(path) == SECRET, "content read"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class ChgrpSharedGroup(Attack):
+    """Classic flat-scheme leak: chgrp to the common 'users' group + g+rw."""
+
+    name = "chgrp-shared-group"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.umask(0o000)
+        victim.sys.create("/tmp/group-drop", mode=0o600, data=SECRET)
+        # pick any non-private group both users share
+        common = [g for g in victim.creds.groups
+                  if g in attacker.creds.groups
+                  and not cluster.userdb.group(g).is_private]
+        if not common:
+            return False, "blocked: no shared group exists (UPG scheme)"
+        try:
+            victim.sys.chown("/tmp/group-drop", gid=common[0])
+            victim.sys.chmod("/tmp/group-drop", 0o660)
+            return attacker.sys.open_read("/tmp/group-drop") == SECRET, \
+                f"via shared gid {common[0]}"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class HomeWalk(Attack):
+    name = "home-walk"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.create("/home/alice/projects.txt", mode=0o644,
+                          data=b"proposal filenames")
+        return _try(attacker.sys.listdir, "/home/alice")
+
+
+class TmpFilenameEnum(Attack):
+    """Residual: names in world-writable dirs remain visible (Section V)."""
+
+    name = "tmp-filename-enum"
+    area = "filesystem"
+    residual = True
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.create("/tmp/alice-GENOME-batch7.lock", mode=0o600)
+        try:
+            names = attacker.sys.listdir("/tmp")
+            return any("GENOME" in n for n in names), f"names: {names}"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class ScratchWorldCreate(Attack):
+    """The pre-LU-4746 Lustre bypass: world bits on create in /scratch."""
+
+    name = "scratch-world-create"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.umask(0o000)
+        victim.sys.create("/scratch/alice-out.dat", mode=0o666, data=SECRET)
+        try:
+            return attacker.sys.open_read("/scratch/alice-out.dat") == SECRET, \
+                "content read"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class TmpSymlinkRedirect(Attack):
+    """The classic /tmp symlink attack: the attacker plants a link where
+    the victim's job writes its output, redirecting the write into a file
+    the victim owns (attacker-directed corruption).  Blocked by the
+    fs.protected_symlinks sysctl (default-on on any modern kernel, under
+    both presets) — included to show which *layer* covers this path."""
+
+    name = "tmp-symlink-redirect"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.create("/home/alice/.bashrc", mode=0o644, data=b"PS1=ok")
+        attacker.sys.symlink("/home/alice/.bashrc", "/tmp/joboutput")
+        try:
+            victim.sys.open_write("/tmp/joboutput", b"pwned")
+        except KernelError as e:
+            return False, f"blocked: {e}"
+        corrupted = victim.sys.open_read("/home/alice/.bashrc") != b"PS1=ok"
+        return corrupted, "victim write redirected into own dotfile"
+
+
+class TmpHardlinkPin(Attack):
+    """Hardlink variant: pin another user's file under /tmp so it survives
+    the owner's cleanup.  Blocked by fs.protected_hardlinks."""
+
+    name = "tmp-hardlink-pin"
+    area = "filesystem"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim.sys.create("/tmp/victim-data", mode=0o644, data=SECRET)
+        try:
+            attacker.sys.link("/tmp/victim-data", "/tmp/pinned")
+        except KernelError as e:
+            return False, f"blocked: {e}"
+        victim.sys.unlink("/tmp/victim-data")
+        try:
+            return attacker.sys.open_read("/tmp/pinned") == SECRET, \
+                "content pinned past deletion"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class ProjectGroupShare(Attack):
+    """The sanctioned path: must WORK under every config (usability)."""
+
+    name = "project-group-share"
+    area = "filesystem"
+    intended = True
+
+    def attempt(self, cluster):
+        carol = cluster.login("carol")
+        dave = cluster.login("dave")
+        carol.sg("fusion")
+        carol.sys.create("/home/proj/fusion/results.h5", mode=0o660,
+                         data=SECRET)
+        try:
+            return dave.sys.open_read("/home/proj/fusion/results.h5") == SECRET, \
+                "project member read shared file"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+# --------------------------------------------------------------------------
+# IV-D network
+# --------------------------------------------------------------------------
+
+def _victim_service(cluster, port=5000, proto=Proto.TCP):
+    """alice runs a service inside a job on a compute node."""
+    job = cluster.submit("alice", name="svc", duration=1000.0)
+    cluster.run(until=1.0)
+    shell = cluster.job_session(job)
+    net = shell.node.net
+    if proto is Proto.TCP:
+        sock = net.listen(net.bind(shell.process, port))
+    else:
+        sock = net.bind(shell.process, port, proto)
+    return shell, sock
+
+
+class TcpCrossUser(Attack):
+    name = "tcp-connect-cross-user"
+    area = "network"
+
+    def attempt(self, cluster):
+        shell, sock = _victim_service(cluster)
+        attacker = cluster.login("bob")
+        try:
+            conn = attacker.socket().connect(shell.node.name, sock.port)
+            conn.send(b"GET /data")
+            srv = shell.node.net.accept(sock)
+            return True, "connection established and payload delivered"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class UdpCrossUser(Attack):
+    name = "udp-cross-user"
+    area = "network"
+
+    def attempt(self, cluster):
+        shell, sock = _victim_service(cluster, port=6000, proto=Proto.UDP)
+        attacker = cluster.login("bob")
+        try:
+            attacker.socket().sendto(shell.node.name, 6000, b"probe")
+            d = shell.node.net.recvfrom(sock)
+            return True, f"datagram delivered from {d.src_host}"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class PortSquat(Attack):
+    """Attacker binds a popular port; victim's client connects by mistake.
+    Under the UBF the victim's data never reaches the attacker."""
+
+    name = "port-squat"
+    area = "network"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        net = attacker.node.net
+        squat = net.listen(net.bind(attacker.process, 8080))
+        try:
+            conn = victim.socket().connect(attacker.node.name, 8080)
+            conn.send(SECRET)
+            got = net.accept(squat).recv()
+            return got == SECRET, "attacker captured victim payload"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class AbstractUds(Attack):
+    """Residual: abstract-namespace UDS have no permissions (Section V)."""
+
+    name = "abstract-uds"
+    area = "network"
+    residual = True
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        net = victim.node.net
+        net.abstract_bind(victim.process, "alice-ipc")
+        try:
+            conn = net.abstract_connect(attacker.process, "alice-ipc")
+            conn.send(b"probe")
+            srv = net.abstract_accept("alice-ipc")
+            srv.send(SECRET)  # victim service answers whoever connects
+            return conn.recv() == SECRET, "cross-user UDS exchange"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class RdmaCmBypass(Attack):
+    """Residual: native IB CM setup is invisible to the UBF (appendix)."""
+
+    name = "rdma-cm-bypass"
+    area = "network"
+    residual = True
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        victim_qp = cluster.rdma.create_qp(victim.node.name, victim.process)
+        victim_qp.mr.write(0, SECRET)
+        attacker_qp = cluster.rdma.create_qp(attacker.node.name,
+                                             attacker.process)
+        cluster.rdma.connect_qp_cm(attacker_qp, victim_qp)
+        got = attacker_qp.rdma_read(0, len(SECRET))
+        return got == SECRET, "MR read via CM-setup QP"
+
+
+class RdmaTcpControlled(Attack):
+    """The governed RDMA path: TCP control channel, so the UBF applies."""
+
+    name = "rdma-tcp-controlled"
+    area = "network"
+
+    def attempt(self, cluster):
+        shell, sock = _victim_service(cluster, port=18515)
+        victim_qp = cluster.rdma.create_qp(shell.node.name, shell.process)
+        victim_qp.mr.write(0, SECRET)
+        attacker = cluster.login("bob")
+        attacker_qp = cluster.rdma.create_qp(attacker.node.name,
+                                             attacker.process)
+        try:
+            cluster.rdma.connect_qp_tcp(attacker_qp, victim_qp, 18515)
+            got = attacker_qp.rdma_read(0, len(SECRET))
+            return got == SECRET, "MR read via TCP-setup QP"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+# --------------------------------------------------------------------------
+# IV-E portal
+# --------------------------------------------------------------------------
+
+def _victim_webapp(cluster):
+    from repro.portal.webapp import launch_webapp
+    job = cluster.submit("alice", name="jupyter", duration=1000.0)
+    cluster.run(until=1.0)
+    shell = cluster.job_session(job)
+    app = launch_webapp(shell.node, shell.process, 8888, "jupyter")
+    cluster.portal.register(app)
+    return app
+
+
+class PortalUnauthenticated(Attack):
+    name = "portal-unauthenticated"
+    area = "portal"
+
+    def attempt(self, cluster):
+        app = _victim_webapp(cluster)
+        try:
+            page = cluster.portal.connect(None, app.app_id)
+            return b"jupyter" in page, "page fetched without auth"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class PortalCrossUser(Attack):
+    name = "portal-cross-user"
+    area = "portal"
+
+    def attempt(self, cluster):
+        app = _victim_webapp(cluster)
+        session = cluster.portal.login("bob")
+        try:
+            page = cluster.portal.connect(session.token, app.app_id)
+            return b"jupyter" in page, "stranger fetched victim app"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class PortalTokenArgvHarvest(Attack):
+    """Multi-stage: harvest a portal token from the victim's command line
+    (the CVE-2020-27746 channel again), then replay it against the portal.
+    hidepid=2 severs the chain at step one."""
+
+    name = "portal-token-argv-harvest"
+    area = "portal"
+
+    def attempt(self, cluster):
+        app = _victim_webapp(cluster)
+        token = cluster.portal.login("alice").token
+        victim = cluster.login("alice")
+        victim.sys.spawn_child(["portal-client", f"--token={token}"])
+        attacker = cluster.login("bob")
+        stolen = None
+        for pid in attacker.sys.list_proc_pids():
+            try:
+                cmdline = attacker.sys.read_proc_cmdline(pid)
+            except KernelError:
+                continue
+            if "--token=" in cmdline:
+                stolen = cmdline.split("--token=")[1].split()[0]
+        if stolen is None:
+            return False, "blocked: token not visible in any cmdline"
+        try:
+            page = cluster.portal.connect(stolen, app.app_id)
+            return b"jupyter" in page, "token replayed successfully"
+        except KernelError as e:
+            return False, f"token stolen but replay blocked: {e}"
+
+
+class SlurmStdoutSnoop(Attack):
+    """Job output files (slurm-<id>.out) land in the user's home; on a
+    flat-group system with readable homes the whole group can read
+    everyone's job logs."""
+
+    name = "slurm-stdout-snoop"
+    area = "scheduler"
+
+    def attempt(self, cluster):
+        from repro.sched.jobs import JobSpec
+
+        def script(ctx):
+            ctx.print("checkpoint token:", SECRET.decode())
+
+        spec = JobSpec(user=cluster.user("alice"), name="j",
+                       workdir="/home/alice", script=script)
+        job = cluster.scheduler.submit(spec, 5.0)
+        cluster.run(until=20.0)
+        attacker = cluster.login("bob")
+        try:
+            out = attacker.sys.open_read(job.stdout_path)
+            return SECRET in out, "job log read by stranger"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+# --------------------------------------------------------------------------
+# IV-F accelerators
+# --------------------------------------------------------------------------
+
+class GpuResidue(Attack):
+    name = "gpu-residue"
+    area = "gpu"
+
+    def attempt(self, cluster):
+        job = cluster.submit("alice", name="train", gpus_per_task=1,
+                             duration=10.0)
+        cluster.run(until=1.0)
+        node = cluster.compute(job.nodes[0])
+        idx = job.allocations[0].gpu_indices[0]
+        shell = cluster.job_session(job)
+        shell.sys.open_write(f"/dev/nvidia{idx}", SECRET)
+        cluster.run(until=20.0)  # alice's job ends (epilog may scrub)
+        bjob = cluster.submit("bob", name="next", gpus_per_task=1,
+                              duration=10.0, at=21.0)
+        cluster.run(until=22.0)
+        bnode = cluster.compute(bjob.nodes[0])
+        bidx = bjob.allocations[0].gpu_indices[0]
+        residue = bnode.gpu(bidx).read_at(0, len(SECRET))
+        # bob may land on a different GPU/node; check all GPUs he can open
+        bshell = cluster.job_session(bjob)
+        try:
+            data = bshell.sys.open_read(f"/dev/nvidia{bidx}")
+        except KernelError as e:
+            return False, f"blocked: {e}"
+        return SECRET in data, "previous user's bytes resident"
+
+
+class GpuUnallocatedOpen(Attack):
+    name = "gpu-unallocated-open"
+    area = "gpu"
+
+    def attempt(self, cluster):
+        job = cluster.submit("bob", name="cpu-only", duration=100.0)
+        cluster.run(until=1.0)
+        shell = cluster.job_session(job)
+        return _try(shell.sys.open_read, "/dev/nvidia0")
+
+
+# --------------------------------------------------------------------------
+# IV-G containers
+# --------------------------------------------------------------------------
+
+class ContainerSmaskEvasion(Attack):
+    """Try to use a container to escape the smask (must fail: passthrough)."""
+
+    name = "container-smask-evasion"
+    area = "containers"
+
+    def attempt(self, cluster):
+        victim, attacker = _login_pair(cluster)
+        ws = cluster.add_workstation("alice")
+        image = build_image(ws, victim.user, "env", [
+            ImageFile("/opt", is_dir=True)])
+        container = cluster.singularity(victim.node.name).run(
+            victim.process, image)
+        csys = container.syscalls()
+        csys.umask(0o000)
+        csys.create("/tmp/container-drop", mode=0o666, data=SECRET)
+        csys.chmod("/tmp/container-drop", 0o666)
+        try:
+            return attacker.sys.open_read("/tmp/container-drop") == SECRET, \
+                "world bits survived inside container"
+        except KernelError as e:
+            return False, f"blocked: {e}"
+
+
+class ContainerBuildOnCluster(Attack):
+    """Building an image on the cluster would require root: must fail."""
+
+    name = "container-build-on-cluster"
+    area = "containers"
+
+    def attempt(self, cluster):
+        attacker = cluster.login("bob")
+        return _try(build_image, attacker.node, attacker.user, "evil", [])
+
+
+#: The full battery, area-ordered.
+ALL_ATTACKS: tuple[Attack, ...] = (
+    PsSnoop(), ProcArgvSecret(), ProcUidEnumeration(),
+    SqueueSnoop(), SqueueMetadata(), SacctUsage(), SshIdleNode(),
+    CoResidency(), SlurmStdoutSnoop(),
+    ChmodWorldHome(), TmpWorldFile(), DevShmFile(), AclUserGrant(),
+    ChgrpSharedGroup(), HomeWalk(), TmpFilenameEnum(), ScratchWorldCreate(),
+    TmpSymlinkRedirect(), TmpHardlinkPin(), ProjectGroupShare(),
+    TcpCrossUser(), UdpCrossUser(), PortSquat(), AbstractUds(),
+    RdmaCmBypass(), RdmaTcpControlled(),
+    PortalUnauthenticated(), PortalCrossUser(), PortalTokenArgvHarvest(),
+    GpuResidue(), GpuUnallocatedOpen(),
+    ContainerSmaskEvasion(), ContainerBuildOnCluster(),
+)

@@ -1,0 +1,202 @@
+"""Configuration-compliance checker: does the running system match the
+claimed separation posture?
+
+The paper's controls are "configuration settings, technology choices, and
+processes" — and configurations drift: a node gets reimaged without the
+/proc options, an admin chmods a home directory during triage, a firewall
+reload drops the nfqueue binding.  The whole-system guarantee is only as
+good as the weakest node, so LLSC-style operations audit the fleet.
+
+:func:`check_compliance` walks a built cluster and verifies, per node and
+per subsystem, that the *actual* kernel/scheduler/network/portal state
+implements the given :class:`~repro.core.config.SeparationConfig`.  Each
+deviation becomes a :class:`Finding` naming the node, the control, and what
+was observed — the report an operations team would page on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cluster import Cluster
+from repro.core.config import SeparationConfig
+from repro.kernel.node import LinuxNode, ROOT_CREDS
+from repro.kernel.pam import PamSlurm, PamSmask
+from repro.net.firewall import Verdict
+from repro.sched.prolog_epilog import GPU_MODE_ASSIGNED, GPU_MODE_UNASSIGNED, gpu_dev_path
+
+
+@dataclass(frozen=True)
+class Finding:
+    node: str
+    control: str
+    expected: str
+    observed: str
+
+    def __str__(self) -> str:  # pragma: no cover - formatting aid
+        return (f"{self.node}: {self.control} — expected {self.expected}, "
+                f"observed {self.observed}")
+
+
+@dataclass
+class ComplianceReport:
+    config: SeparationConfig
+    findings: list[Finding] = field(default_factory=list)
+    checks_run: int = 0
+
+    @property
+    def compliant(self) -> bool:
+        return not self.findings
+
+    def add(self, node: str, control: str, expected: object,
+            observed: object) -> None:
+        self.findings.append(Finding(node, control, str(expected),
+                                     str(observed)))
+
+    def by_control(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for f in self.findings:
+            out[f.control] = out.get(f.control, 0) + 1
+        return out
+
+
+def _all_nodes(cluster: Cluster) -> list[LinuxNode]:
+    return (cluster.login_nodes + cluster.dtn_nodes
+            + [cn.node for cn in cluster.compute_nodes]
+            + [cluster.portal_node])
+
+
+def check_compliance(cluster: Cluster,
+                     config: SeparationConfig | None = None) -> ComplianceReport:
+    """Audit *cluster* against *config* (default: the config it claims)."""
+    cfg = config or cluster.config
+    report = ComplianceReport(config=cfg)
+
+    for node in _all_nodes(cluster):
+        _check_proc(report, node, cfg)
+        _check_kernel_patches(report, node, cfg)
+        _check_firewall(report, node, cfg)
+        _check_pam(report, node, cfg, cluster)
+    _check_homes(report, cluster, cfg)
+    _check_gpus(report, cluster, cfg)
+    _check_scheduler(report, cluster, cfg)
+    _check_portal(report, cluster, cfg)
+    return report
+
+
+def _check_proc(report, node, cfg) -> None:
+    report.checks_run += 1
+    observed = node.procfs.options.hidepid
+    if observed != cfg.hidepid:
+        report.add(node.name, "proc.hidepid", cfg.hidepid, observed)
+    if cfg.seepid_group:
+        report.checks_run += 1
+        if node.procfs.options.gid is None:
+            report.add(node.name, "proc.gid-exemption", "configured",
+                       "missing")
+
+
+def _check_kernel_patches(report, node, cfg) -> None:
+    report.checks_run += 1
+    if node.handler.enabled != cfg.file_permission_handler:
+        report.add(node.name, "kernel.file-permission-handler",
+                   cfg.file_permission_handler, node.handler.enabled)
+    report.checks_run += 1
+    if node.vfs.protected_symlinks != cfg.protected_symlinks:
+        report.add(node.name, "kernel.protected_symlinks",
+                   cfg.protected_symlinks, node.vfs.protected_symlinks)
+
+
+def _check_firewall(report, node, cfg) -> None:
+    report.checks_run += 1
+    stack = node.net
+    if stack is None:
+        report.add(node.name, "net.stack", "attached", "missing")
+        return
+    has_queue_rule = any(r.verdict is Verdict.NFQUEUE
+                         for r in stack.firewall.rules)
+    has_daemon = stack.firewall._nfqueue is not None
+    if cfg.ubf:
+        if not has_queue_rule:
+            report.add(node.name, "net.ubf-ruleset", "installed", "absent")
+        elif not has_daemon:
+            report.add(node.name, "net.ubf-daemon", "bound to nfqueue",
+                       "not running (fail-closed)")
+    elif has_queue_rule:
+        report.add(node.name, "net.ubf-ruleset", "absent", "installed")
+    report.checks_run += 1
+    if stack.firewall.conntrack.enabled != cfg.conntrack:
+        report.add(node.name, "net.conntrack", cfg.conntrack,
+                   stack.firewall.conntrack.enabled)
+
+
+def _check_pam(report, node, cfg, cluster) -> None:
+    mods = {type(m).__name__ for m in node.pam.modules}
+    is_compute = any(cn.node is node for cn in cluster.compute_nodes)
+    if cfg.pam_slurm and is_compute:
+        report.checks_run += 1
+        if "PamSlurm" not in mods:
+            report.add(node.name, "pam.pam_slurm", "stacked", "missing")
+    if cfg.file_permission_handler and cfg.smask:
+        report.checks_run += 1
+        smask_mods = [m for m in node.pam.modules
+                      if isinstance(m, PamSmask)]
+        if not smask_mods:
+            report.add(node.name, "pam.pam_smask", oct(cfg.smask),
+                       "missing")
+        elif smask_mods[0].smask != cfg.smask:
+            report.add(node.name, "pam.pam_smask", oct(cfg.smask),
+                       oct(smask_mods[0].smask))
+
+
+def _check_homes(report, cluster, cfg) -> None:
+    v = cluster.login_nodes[0].vfs
+    for user in cluster.userdb.users():
+        if user.is_root:
+            continue
+        path = f"/home/{user.name}"
+        if not v.exists(path, ROOT_CREDS):
+            continue
+        st = v.stat(path, ROOT_CREDS)
+        report.checks_run += 1
+        if cfg.root_owned_homes and st.uid != 0:
+            report.add("homefs", f"home.owner:{user.name}", "root",
+                       f"uid {st.uid}")
+        report.checks_run += 1
+        if st.mode != cfg.home_mode:
+            report.add("homefs", f"home.mode:{user.name}",
+                       oct(cfg.home_mode), oct(st.mode))
+
+
+def _check_gpus(report, cluster, cfg) -> None:
+    if not cfg.gpu_dev_assignment:
+        return
+    for cn in cluster.compute_nodes:
+        used = cn.used_gpu_indices
+        for gpu in cn.gpus:
+            report.checks_run += 1
+            st = cn.node.vfs.stat(gpu_dev_path(gpu.index), ROOT_CREDS)
+            expected = (GPU_MODE_ASSIGNED if gpu.index in used
+                        else GPU_MODE_UNASSIGNED)
+            if st.mode != expected:
+                report.add(cn.name, f"gpu.devmode:nvidia{gpu.index}",
+                           oct(expected), oct(st.mode))
+
+
+def _check_scheduler(report, cluster, cfg) -> None:
+    report.checks_run += 1
+    if cluster.scheduler.config.policy is not cfg.node_policy:
+        report.add("scheduler", "sched.node-policy", cfg.node_policy.value,
+                   cluster.scheduler.config.policy.value)
+    report.checks_run += 1
+    view = cluster.scheduler_view
+    if view.private != cfg.private_data:
+        report.add("scheduler", "sched.private-data", cfg.private_data,
+                   view.private)
+
+
+def _check_portal(report, cluster, cfg) -> None:
+    report.checks_run += 1
+    if cluster.portal.require_auth != cfg.portal_auth:
+        report.add("portal", "portal.require-auth", cfg.portal_auth,
+                   cluster.portal.require_auth)

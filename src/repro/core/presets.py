@@ -1,0 +1,66 @@
+"""The two reference configurations every experiment compares.
+
+``BASELINE`` is a stock academic cluster as commonly shipped: shared
+``users`` group, 0755 home directories, open /proc, open scheduler, no
+firewall between compute-node processes, world-rw GPU device files, no
+epilog scrub, ad-hoc (unauthenticated) web forwarding.
+
+``LLSC`` is the paper's deployment: every Section IV measure on at its
+published setting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import SeparationConfig
+from repro.kernel.smask import PAPER_SMASK
+from repro.sched.policies import NodeSharing
+from repro.sched.privatedata import PrivateData
+
+BASELINE = SeparationConfig(
+    name="BASELINE",
+    hidepid=0,
+    seepid_group=False,
+    private_data=PrivateData(),
+    node_policy=NodeSharing.SHARED,
+    pam_slurm=False,
+    upg=False,
+    root_owned_homes=False,
+    home_mode=0o755,
+    file_permission_handler=False,
+    smask=0o000,
+    ubf=False,
+    portal_auth=False,
+    gpu_dev_assignment=False,
+    gpu_scrub=False,
+)
+
+LLSC = SeparationConfig(
+    name="LLSC",
+    hidepid=2,
+    seepid_group=True,
+    private_data=PrivateData.all_private(),
+    node_policy=NodeSharing.WHOLE_NODE_USER,
+    pam_slurm=True,
+    upg=True,
+    root_owned_homes=True,
+    home_mode=0o770,
+    file_permission_handler=True,
+    smask=PAPER_SMASK,
+    restrict_acls=True,
+    lustre_honors_smask=True,
+    ubf=True,
+    ubf_cache=True,
+    conntrack=True,
+    portal_auth=True,
+    portal_session_ttl=8 * 3600.0,  # working-day sessions
+    gpu_dev_assignment=True,
+    gpu_scrub=True,
+)
+
+
+def ablate(base: SeparationConfig, **changes) -> SeparationConfig:
+    """One-knob ablation helper: ``ablate(LLSC, ubf=False)``."""
+    new_name = base.name + "".join(f"-{k}={v}" for k, v in changes.items())
+    return replace(base, name=new_name, **changes)

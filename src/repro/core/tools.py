@@ -1,0 +1,110 @@
+"""Support-staff escalation tools: ``seepid`` and ``smask_relax``.
+
+Both tools solve the same operational problem (Sections IV-A and IV-C): HPC
+support personnel who are *not* full administrators occasionally need a
+targeted exemption — to see system-wide process activity when
+troubleshooting, or to publish world-readable datasets/tools.  Each tool is
+whitelisted (support staff only), scoped to one shell session, and leaves
+root privileges out of users' hands entirely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.cluster import Cluster, Session
+from repro.kernel.errors import PermissionError_
+from repro.kernel.smask import RELAXED_SMASK
+
+
+def seepid(cluster: Cluster, session: Session) -> Session:
+    """Add the hidepid-exemption supplemental group to this logon session.
+
+    Only support staff may invoke it; the exemption group must exist (the
+    ``seepid_group`` config knob).  Afterwards the session's ``ps`` shows
+    every user's processes despite ``hidepid=2``.
+    """
+    if not session.user.is_support_staff:
+        raise PermissionError_(
+            f"{session.user.name} is not whitelisted for seepid")
+    if cluster.seepid_group is None:
+        raise PermissionError_(
+            "this system has no hidepid exemption group configured")
+    session.process.creds = session.creds.with_extra_group(
+        cluster.seepid_group.gid)
+    return session
+
+
+def smask_relax(cluster: Cluster, session: Session,
+                smask: int = RELAXED_SMASK) -> Session:
+    """Enter a shell with a relaxed security mask (smask 002 by default).
+
+    Lets support staff set world read/execute bits when publishing shared
+    datasets, AI models, and software tools; world-*write* stays blocked.
+    Only support staff may invoke it.  The relaxation applies to this
+    session's future creates/chmods only.
+    """
+    if not session.user.is_support_staff:
+        raise PermissionError_(
+            f"{session.user.name} is not whitelisted for smask_relax")
+    session.process.creds = replace(session.creds, smask=smask & 0o777)
+    return session
+
+
+def publish_dataset(session: Session, path: str, data: bytes,
+                    *, mode: int = 0o644) -> None:
+    """Convenience used by examples/benches: create a world-readable file
+    (only effective from a relaxed session or as root)."""
+    session.sys.create(path, mode=mode, data=data)
+
+
+def attribute_load(cluster: Cluster, session: Session) -> dict[str, dict]:
+    """The seepid use case: "view overall system load and attribute
+    hotspots to specific users to help troubleshoot an execution script or
+    a failed job execution" (Section IV-A).
+
+    Composes only what *session* can legitimately observe: per-node process
+    listings through /proc (hidepid-gated — useless to plain staff until
+    :func:`seepid` adds the exemption group) and scheduler state through
+    the PrivateData-gated view (staff should be configured as operators).
+    Returns ``{username: {"procs": n, "rss_mb": n, "running_jobs": n,
+    "nodes": [...]}}``.
+    """
+    report: dict[str, dict] = {}
+    # aggregate load is visible to everyone (and is what makes a hotspot
+    # *noticeable*); the per-user rows below are what need seepid
+    report["_aggregate"] = {
+        "running_procs": sum(
+            cn.node.procfs.loadavg(session.creds)["running"]
+            for cn in cluster.compute_nodes),
+        "used_mb": sum(
+            cn.node.procfs.meminfo(session.creds)["used_mb"]
+            for cn in cluster.compute_nodes),
+    }
+
+    def row(uid: int) -> dict:
+        try:
+            name = cluster.userdb.user(uid).name
+        except Exception:
+            name = f"uid{uid}"
+        return report.setdefault(name, {"procs": 0, "rss_mb": 0,
+                                        "running_jobs": 0, "nodes": set()})
+
+    for cn in cluster.compute_nodes:
+        for entry in cn.node.procfs.ps(session.creds):
+            if entry.uid == 0:
+                continue
+            r = row(entry.uid)
+            r["procs"] += 1
+            r["rss_mb"] += entry.rss_mb
+            r["nodes"].add(cn.name)
+    for jobrow in cluster.scheduler_view.squeue(session.user):
+        name = jobrow.user_name
+        r = report.setdefault(name, {"procs": 0, "rss_mb": 0,
+                                     "running_jobs": 0, "nodes": set()})
+        r["running_jobs"] += 1
+        r["nodes"].update(jobrow.nodes)
+    for name, r in report.items():
+        if name != "_aggregate":
+            r["nodes"] = sorted(r["nodes"])
+    return report

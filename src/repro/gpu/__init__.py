@@ -1,0 +1,5 @@
+"""Accelerator substrate: GPUs with persistent, ownerless memory."""
+
+from repro.gpu.device import GPUDevice
+
+__all__ = ["GPUDevice"]

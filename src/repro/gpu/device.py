@@ -1,0 +1,72 @@
+"""GPU devices with *persistent* memory — the Section IV-F hazard.
+
+"Accelerators, and specifically GPUs, do not use a traditional security
+model for data resident in memory.  They have no concept of data ownership
+or data segmenting within the GPU. ... GPUs do not clear their memory before
+reassignment to another job/user ... the data of the previous user's job
+will remain in GPU memory and registers."
+
+:class:`GPUDevice` is the payload behind ``/dev/nvidiaN`` character files
+(access control happens in the VFS, on the file's permission bits — *not*
+here, because the real device has none).  Memory is a numpy byte array that
+survives job boundaries; only an explicit :meth:`scrub` (the vendor-provided
+steps the LLSC epilog runs) clears it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+@dataclass
+class GPUDevice:
+    """One accelerator: device memory + registers, no ownership model."""
+
+    index: int
+    mem_bytes: int = 65536
+    memory: np.ndarray = field(init=False)
+    registers: np.ndarray = field(init=False)
+    last_user_uid: int | None = None
+    scrub_count: int = 0
+
+    def __post_init__(self):
+        self.memory = np.zeros(self.mem_bytes, dtype=np.uint8)
+        self.registers = np.zeros(64, dtype=np.uint64)
+
+    # -- the /dev character-file interface (called by the VFS after DAC) ----
+
+    def dev_write(self, creds, data: bytes) -> int:
+        """Write at offset 0 (a compute kernel leaving results in memory)."""
+        a = np.frombuffer(data, dtype=np.uint8)
+        n = min(a.size, self.memory.size)
+        self.memory[:n] = a[:n]
+        self.registers[0] = n
+        self.last_user_uid = creds.uid
+        return int(n)
+
+    def dev_read(self, creds) -> bytes:
+        """Map device memory: returns whatever is resident — including a
+        previous user's data if nobody scrubbed."""
+        return self.memory.tobytes()
+
+    # -- direct (driver-level) operations ------------------------------------
+
+    def write_at(self, offset: int, data: bytes) -> None:
+        a = np.frombuffer(data, dtype=np.uint8)
+        self.memory[offset:offset + a.size] = a
+
+    def read_at(self, offset: int, size: int) -> bytes:
+        return self.memory[offset:offset + size].tobytes()
+
+    @property
+    def dirty(self) -> bool:
+        """Any non-zero residue in memory or registers?"""
+        return bool(self.memory.any() or self.registers.any())
+
+    def scrub(self) -> None:
+        """The vendor-provided clearing steps (run by the scheduler epilog)."""
+        self.memory[:] = 0
+        self.registers[:] = 0
+        self.scrub_count += 1

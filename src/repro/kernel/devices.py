@@ -1,0 +1,56 @@
+"""Character-special devices and the ``/dev`` tree.
+
+Section IV-F: "GPUs are assigned as a single-user resource.  This is
+accomplished by modifying the permissions on relevant character special
+files in ``/dev/`` to allow only the user private group of the user allocated
+that GPU via the scheduler.  With this method, GPUs that have not been
+assigned to a user are not visible at all."
+
+The VFS already knows how to host device inodes (``FileKind.DEVICE`` with a
+``device`` payload whose ``dev_read``/``dev_write`` the VFS calls after the
+normal permission check).  This module provides the payload types and the
+helper that populates a node's ``/dev``.
+"""
+
+from __future__ import annotations
+
+from repro.kernel.users import Credentials
+from repro.kernel.vfs import VFS, FileKind
+
+
+class NullDevice:
+    """/dev/null: reads empty, writes discarded."""
+
+    def dev_read(self, creds: Credentials) -> bytes:
+        return b""
+
+    def dev_write(self, creds: Credentials, data: bytes) -> int:
+        return len(data)
+
+
+def make_dev_tree(vfs: VFS, root_creds: Credentials) -> None:
+    """Create the standard /dev skeleton on a node's root filesystem.
+
+    ``/dev/shm`` is the world-writable sticky tmpfs directory the paper calls
+    out (with ``/tmp``) as a residual shared namespace; device permission
+    bits start at the stock-Linux defaults and are tightened per-job by the
+    scheduler prolog when GPU separation is enabled.
+    """
+    vfs.mkdir("/dev", root_creds, mode=0o755, exist_ok=True)
+    vfs.mkdir("/dev/shm", root_creds, mode=0o1777, exist_ok=True)
+    vfs.create("/dev/null", root_creds, mode=0o666, kind=FileKind.DEVICE,
+               device=NullDevice(), exist_ok=True)
+
+
+def install_gpu_device(vfs: VFS, root_creds: Credentials, index: int,
+                       device: object, *, mode: int = 0o666) -> str:
+    """Create ``/dev/nvidia<index>`` backed by *device*.
+
+    Stock systems ship these 0666 (any local user can open any GPU) — the
+    no-ownership model Section IV-F criticises.  The LLSC prolog re-chmods
+    and re-chgrps these per allocation (:mod:`repro.sched.prolog_epilog`).
+    """
+    path = f"/dev/nvidia{index}"
+    vfs.create(path, root_creds, mode=mode, kind=FileKind.DEVICE,
+               device=device, exist_ok=True)
+    return path

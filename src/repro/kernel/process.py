@@ -1,0 +1,136 @@
+"""Per-node process table: fork/exec, signals, exit.
+
+Processes carry the :class:`~repro.kernel.users.Credentials` every kernel
+enforcement point consumes, plus the command line that Section IV-A worries
+about leaking ("many job properties could contain private information
+including username, jobname, command, working directory path").  The
+``/proc`` *view* of this table — where hidepid applies — lives in
+:mod:`repro.kernel.procfs`.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kernel.errors import NoSuchProcess, PermissionError_
+from repro.kernel.users import Credentials
+
+SIGKILL = 9
+SIGTERM = 15
+
+
+class ProcState(enum.Enum):
+    RUNNING = "R"
+    SLEEPING = "S"
+    ZOMBIE = "Z"
+    DEAD = "X"
+
+
+@dataclass
+class Process:
+    """One process on one node."""
+
+    pid: int
+    ppid: int
+    creds: Credentials
+    argv: list[str]
+    cwd: str = "/"
+    state: ProcState = ProcState.RUNNING
+    job_id: int | None = None
+    is_daemon: bool = False  # system daemon (owned by root or service uids)
+    rss_mb: int = 10
+    environ: dict[str, str] = field(default_factory=dict)
+    exit_code: int | None = None
+
+    @property
+    def comm(self) -> str:
+        """Executable short name, as in /proc/<pid>/comm."""
+        return self.argv[0].rsplit("/", 1)[-1][:15] if self.argv else "?"
+
+    @property
+    def cmdline(self) -> str:
+        return " ".join(self.argv)
+
+    @property
+    def alive(self) -> bool:
+        return self.state in (ProcState.RUNNING, ProcState.SLEEPING)
+
+
+class ProcessTable:
+    """All processes on a single node.
+
+    ``spawn`` is fork+exec fused; ``kill`` enforces the standard Linux
+    rule that an unprivileged sender may only signal processes with a
+    matching uid.
+    """
+
+    def __init__(self, node_name: str = "node"):
+        self.node_name = node_name
+        self._pids = itertools.count(2)
+        self._procs: dict[int, Process] = {}
+        # pid 1: init, root-owned, always present
+        self._procs[1] = Process(pid=1, ppid=0,
+                                 creds=Credentials(uid=0, egid=0,
+                                                   groups=frozenset({0})),
+                                 argv=["/sbin/init"], is_daemon=True)
+
+    def spawn(self, creds: Credentials, argv: list[str], *, ppid: int = 1,
+              cwd: str = "/", job_id: int | None = None,
+              daemon: bool = False, rss_mb: int = 10,
+              environ: dict[str, str] | None = None) -> Process:
+        pid = next(self._pids)
+        proc = Process(pid=pid, ppid=ppid, creds=creds, argv=list(argv),
+                       cwd=cwd, job_id=job_id, is_daemon=daemon,
+                       rss_mb=rss_mb, environ=dict(environ or {}))
+        self._procs[pid] = proc
+        return proc
+
+    def get(self, pid: int) -> Process:
+        try:
+            return self._procs[pid]
+        except KeyError:
+            raise NoSuchProcess(f"pid {pid}") from None
+
+    def exists(self, pid: int) -> bool:
+        return pid in self._procs
+
+    def pids(self) -> list[int]:
+        """All live pids — the *kernel's* view; procfs filters this."""
+        return sorted(p.pid for p in self._procs.values() if p.alive)
+
+    def processes(self) -> list[Process]:
+        return [self._procs[p] for p in self.pids()]
+
+    def kill(self, sender: Credentials, pid: int, sig: int = SIGTERM) -> None:
+        """Signal *pid*; unprivileged senders need a uid match."""
+        proc = self.get(pid)
+        if not proc.alive:
+            raise NoSuchProcess(f"pid {pid} already dead")
+        if not sender.is_root and sender.uid != proc.creds.uid:
+            raise PermissionError_(
+                f"uid {sender.uid} may not signal pid {pid} (uid {proc.creds.uid})"
+            )
+        if sig in (SIGKILL, SIGTERM):
+            self.reap(pid, exit_code=-sig)
+
+    def reap(self, pid: int, exit_code: int = 0) -> None:
+        proc = self.get(pid)
+        proc.state = ProcState.DEAD
+        proc.exit_code = exit_code
+
+    def kill_job(self, job_id: int) -> list[int]:
+        """Kernel-side cleanup of every process of a job (scheduler epilog)."""
+        killed = []
+        for proc in list(self._procs.values()):
+            if proc.job_id == job_id and proc.alive:
+                self.reap(proc.pid, exit_code=-SIGKILL)
+                killed.append(proc.pid)
+        return killed
+
+    def of_user(self, uid: int) -> list[Process]:
+        return [p for p in self.processes() if p.creds.uid == uid]
+
+    def total_rss_mb(self) -> int:
+        return sum(p.rss_mb for p in self.processes())

@@ -1,0 +1,91 @@
+"""The File Permission Handler — the paper's smask kernel patch.
+
+Section IV-C (and the reproducibility appendix) describe two Linux kernel
+patches plus a PAM module, published as the *HPC File Permission Handler*:
+
+1. **smask** — a per-session *security mask*.  "It blocks the use of world
+   bits for unprivileged users by setting a security mask (smask).  This is
+   similar to setting ``umask 007``, but it is immutable and enforced (even
+   on ``chmod``)."  With the paper's deployed value of ``0o007`` a user can
+   never create *or chmod* a file to carry world (other) permission bits.
+
+2. **ACL restriction** — "restrict the use of file access control lists to
+   group members only, and a user cannot grant permission to a group unless
+   they are a member of said group."
+
+This module implements both as a policy object the VFS consults at every
+``create``/``chmod``/``setfacl``, which is exactly where the kernel patch
+hooks (``inode_init_owner`` / ``notify_change`` / ``posix_acl``).  Root is
+exempt, as in the patch ("for unprivileged users").
+
+The companion PAM module that installs the smask at session open is
+:func:`repro.kernel.pam.pam_smask`; the staff escape hatch that opens a
+relaxed shell is :func:`repro.core.tools.smask_relax`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.errors import PermissionError_
+from repro.kernel.users import Credentials
+
+#: smask value the paper deploys: blocks all world bits.
+PAPER_SMASK = 0o007
+
+#: smask value smask_relax grants support staff: allows world r/x, not w.
+RELAXED_SMASK = 0o002
+
+
+@dataclass(frozen=True)
+class FilePermissionHandler:
+    """Policy object for the two File Permission Handler kernel patches.
+
+    Parameters
+    ----------
+    enabled:
+        Master switch; the BASELINE preset runs with it off (stock kernel).
+    restrict_acls:
+        The second patch: ACL grants limited to groups the caller belongs to
+        (and user-ACL grants disabled entirely, since granting to an
+        arbitrary uid is the same leak as a world bit).
+    """
+
+    enabled: bool = True
+    restrict_acls: bool = True
+
+    def effective_mode(self, requested: int, creds: Credentials) -> int:
+        """Mode actually stored for a create or chmod by *creds*.
+
+        Applies ``mode & ~umask`` on create semantics at the caller, so this
+        only strips the *security* mask; root bypasses.  Unlike umask, the
+        strip also applies to chmod — the "enforced (even on chmod)" part.
+        """
+        if not self.enabled or creds.is_root:
+            return requested & 0o7777
+        return requested & 0o7777 & ~(creds.smask & 0o777)
+
+    def check_acl_grant(self, creds: Credentials, *, target_gid: int | None,
+                        target_uid: int | None) -> None:
+        """Validate a ``setfacl`` grant under the ACL-restriction patch.
+
+        Raises :class:`PermissionError_` when the caller tries to grant to a
+        group they are not a member of, or to an individual foreign uid.
+        """
+        if not self.enabled or not self.restrict_acls or creds.is_root:
+            return
+        if target_gid is not None and not creds.in_group(target_gid):
+            raise PermissionError_(
+                f"ACL grant to gid {target_gid} denied: uid {creds.uid} is not a member"
+            )
+        if target_uid is not None and target_uid != creds.uid:
+            raise PermissionError_(
+                f"ACL grant to foreign uid {target_uid} denied by File Permission Handler"
+            )
+
+
+#: A disabled handler, used by the stock/BASELINE preset.
+STOCK_KERNEL = FilePermissionHandler(enabled=False, restrict_acls=False)
+
+#: The paper's deployed configuration.
+LLSC_KERNEL = FilePermissionHandler(enabled=True, restrict_acls=True)

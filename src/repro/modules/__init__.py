@@ -1,0 +1,19 @@
+"""Linux environment modules: the paper's preferred mechanism for shared
+software (Section IV-G), with visibility governed purely by filesystem DAC."""
+
+from repro.modules.modulefile import (
+    ModuleFile,
+    parse_modulefile,
+    render_modulefile,
+)
+from repro.modules.system import (
+    DEFAULT_MODULEPATH,
+    LOADED_VAR,
+    ModuleSystem,
+    publish_module,
+)
+
+__all__ = [
+    "ModuleFile", "parse_modulefile", "render_modulefile",
+    "DEFAULT_MODULEPATH", "LOADED_VAR", "ModuleSystem", "publish_module",
+]

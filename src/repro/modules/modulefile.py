@@ -1,0 +1,107 @@
+"""Modulefile format and parser (Tcl-modules flavoured, simplified).
+
+Section IV-G's conclusion: "shared installations of software applications
+are better managed by providing installed applications in shared group
+areas and enabling users to dynamically configure their environment to use
+the applications with Linux environment modules."
+
+A modulefile here is a small text file in the VFS::
+
+    #%Module
+    ## anaconda 2024a — site python stack
+    setenv        CONDA_ROOT /software/anaconda/2024a
+    prepend-path  PATH       /software/anaconda/2024a/bin
+    prepend-path  LD_LIBRARY_PATH /software/anaconda/2024a/lib
+    conflict      mamba
+
+The parser accepts exactly these directives (plus comments/blank lines) and
+produces a :class:`ModuleFile`.  Because modulefiles are ordinary files,
+*who can see and load a module is decided by the filesystem DAC* — which is
+how the paper's smask/UPG regime extends to software publishing: staff
+publish world-readable trees via ``smask_relax``, project groups share
+modules through their group directories, and private modules stay private.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.errors import InvalidArgument
+
+MAGIC = "#%Module"
+
+
+@dataclass(frozen=True)
+class ModuleFile:
+    """A parsed modulefile."""
+
+    name: str       # e.g. "anaconda"
+    version: str    # e.g. "2024a"
+    setenv: dict[str, str] = field(default_factory=dict)
+    prepend_path: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    conflicts: frozenset[str] = frozenset()
+    description: str = ""
+
+    @property
+    def full_name(self) -> str:
+        return f"{self.name}/{self.version}"
+
+
+def parse_modulefile(name: str, version: str, text: str) -> ModuleFile:
+    """Parse modulefile *text*; raises :class:`InvalidArgument` on syntax
+    errors (unknown directives, missing magic header, bad arity)."""
+    lines = text.splitlines()
+    if not lines or not lines[0].startswith(MAGIC):
+        raise InvalidArgument(f"modulefile {name}/{version}: missing {MAGIC}")
+    setenv: dict[str, str] = {}
+    prepend: dict[str, list[str]] = {}
+    conflicts: set[str] = set()
+    description = ""
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("##"):
+            description = description or line.lstrip("# ").strip()
+            continue
+        if line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        directive = parts[0]
+        if directive == "setenv":
+            if len(parts) != 3:
+                raise InvalidArgument(
+                    f"{name}/{version}:{lineno}: setenv needs VAR VALUE")
+            setenv[parts[1]] = parts[2]
+        elif directive == "prepend-path":
+            if len(parts) != 3:
+                raise InvalidArgument(
+                    f"{name}/{version}:{lineno}: prepend-path needs VAR DIR")
+            prepend.setdefault(parts[1], []).append(parts[2])
+        elif directive == "conflict":
+            if len(parts) < 2:
+                raise InvalidArgument(
+                    f"{name}/{version}:{lineno}: conflict needs NAME")
+            conflicts.add(parts[1])
+        else:
+            raise InvalidArgument(
+                f"{name}/{version}:{lineno}: unknown directive {directive!r}")
+    return ModuleFile(name=name, version=version, setenv=dict(setenv),
+                      prepend_path={k: tuple(v) for k, v in prepend.items()},
+                      conflicts=frozenset(conflicts),
+                      description=description)
+
+
+def render_modulefile(mod: ModuleFile) -> str:
+    """Inverse of :func:`parse_modulefile` (used by the publish helper)."""
+    out = [MAGIC]
+    if mod.description:
+        out.append(f"## {mod.description}")
+    for var, val in mod.setenv.items():
+        out.append(f"setenv        {var} {val}")
+    for var, dirs in mod.prepend_path.items():
+        for d in dirs:
+            out.append(f"prepend-path  {var} {d}")
+    for c in sorted(mod.conflicts):
+        out.append(f"conflict      {c}")
+    return "\n".join(out) + "\n"

@@ -1,0 +1,172 @@
+"""The module command: avail / load / unload / list over VFS modulefiles.
+
+Visibility and loadability are pure filesystem DAC: ``avail`` lists only
+modulefiles the caller can read along the MODULEPATH, so the smask/UPG
+regime governs software sharing with no extra policy — staff-published
+trees (world-readable via ``smask_relax``) appear for everyone, a project
+group's modules appear only to members, and a user's private modules only
+to themselves.
+
+``load`` mutates the *calling process's* environment (the real module
+command is a shell function for the same reason).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.kernel.errors import (
+    AccessDenied,
+    Exists,
+    InvalidArgument,
+    NoSuchEntity,
+    NotADirectory,
+)
+from repro.kernel.process import Process
+from repro.kernel.node import LinuxNode
+from repro.modules.modulefile import ModuleFile, parse_modulefile, render_modulefile
+
+#: Default MODULEPATH entries scanned, in priority order.  Project groups
+#: typically extend this with ``/home/proj/<group>/modulefiles``.
+DEFAULT_MODULEPATH = ("/scratch/modulefiles",)
+
+LOADED_VAR = "LOADEDMODULES"
+
+
+@dataclass
+class ModuleSystem:
+    """The ``module`` command bound to one node."""
+
+    node: LinuxNode
+    modulepath: tuple[str, ...] = DEFAULT_MODULEPATH
+
+    # -- discovery ----------------------------------------------------------
+
+    def _scan_dir(self, root: str, creds) -> list[tuple[str, str, str]]:
+        """Yield (name, version, path) under one MODULEPATH root.
+        Layout: <root>/<name>/<version>."""
+        out = []
+        try:
+            names = self.node.vfs.listdir(root, creds)
+        except (NoSuchEntity, AccessDenied, NotADirectory):
+            return out
+        for name in names:
+            subdir = f"{root}/{name}"
+            try:
+                versions = self.node.vfs.listdir(subdir, creds)
+            except (AccessDenied, NotADirectory, NoSuchEntity):
+                continue
+            for version in versions:
+                path = f"{subdir}/{version}"
+                try:
+                    if self.node.vfs.resolve(path, creds,
+                                             follow=False).is_dir:
+                        continue  # not a modulefile (nested directory)
+                except (AccessDenied, NoSuchEntity):
+                    continue
+                out.append((name, version, path))
+        return out
+
+    def avail(self, process: Process) -> list[str]:
+        """``module avail``: every loadable name/version for this caller."""
+        creds = process.creds
+        found = []
+        for root in self.modulepath:
+            for name, version, path in self._scan_dir(root, creds):
+                if self.node.vfs.access(path, creds, 4):
+                    found.append(f"{name}/{version}")
+        return sorted(set(found))
+
+    def _find(self, spec: str, creds) -> ModuleFile:
+        """Resolve 'name' or 'name/version' to a parsed modulefile."""
+        if "/" in spec:
+            name, version = spec.split("/", 1)
+        else:
+            name, version = spec, None
+        candidates = []
+        for root in self.modulepath:
+            for n, v, path in self._scan_dir(root, creds):
+                if n == name and (version is None or v == version):
+                    candidates.append((v, path))
+        if not candidates:
+            raise NoSuchEntity(f"module {spec!r} not found (or not readable)")
+        # highest version wins when unversioned, like Lmod's default
+        v, path = sorted(candidates)[-1]
+        text = self.node.vfs.read(path, creds).decode()
+        return parse_modulefile(name, v, text)
+
+    # -- environment mutation ---------------------------------------------
+
+    def loaded(self, process: Process) -> list[str]:
+        val = process.environ.get(LOADED_VAR, "")
+        return [m for m in val.split(":") if m]
+
+    def load(self, process: Process, spec: str) -> ModuleFile:
+        """``module load``: apply setenv/prepend-path to the process env.
+
+        Raises on conflicts (either direction) and on double-load of
+        another version of the same module.
+        """
+        mod = self._find(spec, process.creds)
+        current = self.loaded(process)
+        for full in current:
+            cname = full.split("/", 1)[0]
+            if cname == mod.name:
+                raise Exists(f"module {full} already loaded")
+            if cname in mod.conflicts:
+                raise InvalidArgument(
+                    f"module {mod.full_name} conflicts with loaded {full}")
+            loaded_mod = self._find(full, process.creds)
+            if mod.name in loaded_mod.conflicts:
+                raise InvalidArgument(
+                    f"loaded {full} conflicts with {mod.full_name}")
+        env = process.environ
+        for var, val in mod.setenv.items():
+            env[var] = val
+        for var, dirs in mod.prepend_path.items():
+            existing = env.get(var, "")
+            parts = [d for d in dirs] + ([existing] if existing else [])
+            env[var] = ":".join(parts)
+        env[LOADED_VAR] = ":".join(current + [mod.full_name])
+        return mod
+
+    def unload(self, process: Process, spec: str) -> None:
+        """``module unload``: remove path entries and unset variables."""
+        name = spec.split("/", 1)[0]
+        current = self.loaded(process)
+        match = next((m for m in current
+                      if m.split("/", 1)[0] == name), None)
+        if match is None:
+            raise NoSuchEntity(f"module {spec!r} is not loaded")
+        mod = self._find(match, process.creds)
+        env = process.environ
+        for var in mod.setenv:
+            env.pop(var, None)
+        for var, dirs in mod.prepend_path.items():
+            parts = [p for p in env.get(var, "").split(":") if p]
+            for d in dirs:
+                if d in parts:
+                    parts.remove(d)  # one occurrence per prepend
+            if parts:
+                env[var] = ":".join(parts)
+            else:
+                env.pop(var, None)
+        env[LOADED_VAR] = ":".join(m for m in current if m != match)
+
+
+def publish_module(node: LinuxNode, creds, root: str,
+                   mod: ModuleFile, *, mode: int = 0o644) -> str:
+    """Write a modulefile tree entry (<root>/<name>/<version>).
+
+    Whether the result is world-visible depends entirely on the caller's
+    smask — staff run this from an ``smask_relax`` shell to publish site
+    software; a plain user publishing to their own area produces a module
+    only they (or their group) can see.
+    """
+    vfs = node.vfs
+    vfs.mkdir(root, creds, mode=0o755, exist_ok=True)
+    vfs.mkdir(f"{root}/{mod.name}", creds, mode=0o755, exist_ok=True)
+    path = f"{root}/{mod.name}/{mod.version}"
+    vfs.create(path, creds, mode=mode,
+               data=render_modulefile(mod).encode())
+    return path

@@ -1,0 +1,117 @@
+"""Security event log: the audit trail behind the separation controls.
+
+The paper's systems don't just *block* cross-user actions — operations
+staff watch the blocks ("system monitoring" is one of the SuperCloud
+cross-ecosystem innovations the introduction lists, and the UBF/PAM logs
+are what made the CVE-2020-27746 week legible).  This module gives every
+enforcement point a common structured sink:
+
+* the UBF daemon reports connection denials,
+* pam_slurm reports refused compute-node logins,
+* the syscall façade (when wrapped with :func:`audited`) reports
+  EACCES/EPERM filesystem denials,
+* the scheduler reports refused cancels.
+
+:func:`detect_probe_patterns` is the simple operations heuristic layered on
+top: a principal accumulating many *distinct-target* denials in a short
+window looks like a scanner, not a typo.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+
+class EventKind(enum.Enum):
+    NET_DENY = "net-deny"
+    PAM_DENY = "pam-deny"
+    FS_DENY = "fs-deny"
+    PROC_DENY = "proc-deny"
+    SCHED_DENY = "sched-deny"
+    ADMIN = "admin"  # seepid/smask_relax invocations (escalation audit)
+
+
+@dataclass(frozen=True)
+class SecurityEvent:
+    time: float
+    kind: EventKind
+    subject_uid: int          # who attempted
+    target: str               # what was touched (path, host:port, node, pid)
+    detail: str = ""
+
+
+@dataclass
+class SecurityEventLog:
+    """Append-only in-memory event store with simple query methods."""
+
+    events: list[SecurityEvent] = field(default_factory=list)
+
+    def record(self, event: SecurityEvent) -> None:
+        self.events.append(event)
+
+    def emit(self, time: float, kind: EventKind, subject_uid: int,
+             target: str, detail: str = "") -> None:
+        self.record(SecurityEvent(time, kind, subject_uid, target, detail))
+
+    # -- queries -------------------------------------------------------------
+
+    def by_subject(self, uid: int) -> list[SecurityEvent]:
+        return [e for e in self.events if e.subject_uid == uid]
+
+    def by_kind(self, kind: EventKind) -> list[SecurityEvent]:
+        return [e for e in self.events if e.kind is kind]
+
+    def window(self, start: float, end: float) -> list[SecurityEvent]:
+        return [e for e in self.events if start <= e.time < end]
+
+    def counts(self) -> dict[EventKind, int]:
+        out: dict[EventKind, int] = defaultdict(int)
+        for e in self.events:
+            out[e.kind] += 1
+        return dict(out)
+
+
+@dataclass(frozen=True)
+class ProbeAlert:
+    subject_uid: int
+    denials: int
+    distinct_targets: int
+    kinds: tuple[str, ...]
+    first_time: float
+    last_time: float
+
+
+def detect_probe_patterns(log: SecurityEventLog, *,
+                          min_denials: int = 5,
+                          min_distinct_targets: int = 3,
+                          window: float | None = None,
+                          now: float | None = None) -> list[ProbeAlert]:
+    """Flag principals whose denial pattern looks like active probing.
+
+    A legitimate user fat-fingers the *same* path or port a few times; a
+    scanner touches *many distinct targets*.  Both thresholds must be met.
+    ``window`` restricts to the trailing interval ending at ``now``.
+    """
+    events = log.events
+    if window is not None:
+        end = now if now is not None else max(
+            (e.time for e in events), default=0.0)
+        events = [e for e in events if end - window <= e.time <= end]
+    per_subject: dict[int, list[SecurityEvent]] = defaultdict(list)
+    for e in events:
+        if e.kind is not EventKind.ADMIN:
+            per_subject[e.subject_uid].append(e)
+    alerts = []
+    for uid, evs in per_subject.items():
+        targets = {e.target for e in evs}
+        if len(evs) >= min_denials and len(targets) >= min_distinct_targets:
+            alerts.append(ProbeAlert(
+                subject_uid=uid,
+                denials=len(evs),
+                distinct_targets=len(targets),
+                kinds=tuple(sorted({e.kind.value for e in evs})),
+                first_time=min(e.time for e in evs),
+                last_time=max(e.time for e in evs)))
+    return sorted(alerts, key=lambda a: -a.denials)

@@ -1,0 +1,123 @@
+"""Wiring the security event log into a built cluster.
+
+``instrument_cluster`` attaches a :class:`SecurityEventLog` to an existing
+:class:`~repro.core.cluster.Cluster`:
+
+* every UBF daemon's denial path emits :data:`EventKind.NET_DENY`;
+* every compute node's pam_slurm emits :data:`EventKind.PAM_DENY`;
+* an :class:`AuditedSyscalls` wrapper (handed out by
+  :func:`audited_session`) emits FS/PROC denials for the calls user code
+  makes through it;
+* the seepid/smask_relax tools emit ADMIN escalation records when invoked
+  through :func:`audited_seepid` / :func:`audited_smask_relax`.
+
+Instrumentation is additive — enforcement behaviour is unchanged; only
+observations are recorded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import Cluster, Session
+from repro.core import tools as _tools
+from repro.kernel.errors import AccessDenied, KernelError, NoSuchProcess, PermissionError_
+from repro.kernel.pam import PamSlurm
+from repro.monitor.events import EventKind, SecurityEvent, SecurityEventLog
+from repro.net.firewall import Verdict
+
+
+def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
+    """Attach a log; returns it (also stored as ``cluster.security_log``)."""
+    log = SecurityEventLog()
+    cluster.security_log = log  # type: ignore[attr-defined]
+
+    # UBF denials: wrap each daemon's decide()
+    for daemon in cluster.ubf_daemons.values():
+        original = daemon.decide
+
+        def wrapped(pkt, _orig=original, _daemon=daemon):
+            verdict = _orig(pkt)
+            if verdict is Verdict.DROP:
+                entry = _daemon.log[-1]
+                log.emit(cluster.engine.now, EventKind.NET_DENY,
+                         entry.initiator_uid if entry.initiator_uid
+                         is not None else -1,
+                         f"{pkt.flow.dst_host}:{pkt.flow.dst_port}",
+                         entry.reason)
+            return verdict
+
+        daemon.stack.firewall.bind_nfqueue(wrapped)
+
+    # pam_slurm denials: wrap the account() of each stack's PamSlurm
+    for cn in cluster.compute_nodes:
+        for module in cn.node.pam.modules:
+            if isinstance(module, PamSlurm):
+                original_account = module.account
+
+                def account(user, node_name, _orig=original_account):
+                    try:
+                        return _orig(user, node_name)
+                    except AccessDenied:
+                        log.emit(cluster.engine.now, EventKind.PAM_DENY,
+                                 user.uid, node_name, "pam_slurm refusal")
+                        raise
+
+                # dataclass instances: bind per-instance override
+                object.__setattr__(module, "account", account)
+    return log
+
+
+@dataclass
+class AuditedSyscalls:
+    """Pass-through syscall wrapper that records FS/PROC denials."""
+
+    session: Session
+    log: SecurityEventLog
+
+    def _emit(self, kind: EventKind, target: str, err: KernelError) -> None:
+        self.log.emit(self.session.cluster.engine.now, kind,
+                      self.session.creds.uid, target, err.errname)
+
+    def __getattr__(self, name):
+        inner = getattr(self.session.sys, name)
+        if not callable(inner):
+            return inner
+
+        def call(*args, **kwargs):
+            try:
+                return inner(*args, **kwargs)
+            except (AccessDenied, PermissionError_, NoSuchProcess) as e:
+                target = str(args[0]) if args else name
+                kind = (EventKind.PROC_DENY
+                        if name.startswith(("read_proc", "kill", "ps",
+                                            "list_proc"))
+                        else EventKind.FS_DENY)
+                self._emit(kind, target, e)
+                raise
+
+        return call
+
+
+def audited_session(session: Session,
+                    log: SecurityEventLog) -> AuditedSyscalls:
+    return AuditedSyscalls(session, log)
+
+
+def audited_seepid(cluster: Cluster, session: Session) -> Session:
+    """seepid with an ADMIN escalation audit record."""
+    result = _tools.seepid(cluster, session)
+    getattr(cluster, "security_log").emit(
+        cluster.engine.now, EventKind.ADMIN, session.creds.uid,
+        session.node.name, "seepid exemption added")
+    return result
+
+
+def audited_smask_relax(cluster: Cluster, session: Session,
+                        **kw) -> Session:
+    """smask_relax with an ADMIN escalation audit record."""
+    result = _tools.smask_relax(cluster, session, **kw)
+    getattr(cluster, "security_log").emit(
+        cluster.engine.now, EventKind.ADMIN, session.creds.uid,
+        session.node.name, "smask_relax shell opened")
+    return result

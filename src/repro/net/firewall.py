@@ -1,0 +1,196 @@
+"""iptables-style firewall: rule chains, conntrack, and NFQUEUE.
+
+Section IV-D: "Our UBF uses the IPTables NetFilter Queue module (nfqueue) to
+send new connection requests to a userspace daemon for decision.  Only 'new'
+connections are sent; IPTables connection tracking (conntrack) handles
+established connections."
+
+The model keeps exactly the pieces that matter for that data path:
+
+* a **conntrack table** keyed by five-tuple; hits bypass the rule walk
+  entirely (the zero-per-packet-cost property the paper relies on);
+* an **INPUT chain** of :class:`Rule` objects matched on protocol, dport
+  range and connection state, each yielding ACCEPT, DROP, or NFQUEUE;
+* an **nfqueue binding**: a userspace callback (the UBF daemon) that returns
+  the final verdict for NEW connections.
+
+Costs are recorded in a :class:`~repro.sim.metrics.MetricSet` so experiment
+E8 can price the fast and slow paths.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.sim.metrics import MetricSet
+
+
+class Proto(enum.Enum):
+    TCP = "tcp"
+    UDP = "udp"
+
+
+class Verdict(enum.Enum):
+    ACCEPT = "accept"
+    DROP = "drop"
+    NFQUEUE = "nfqueue"
+
+
+class ConnState(enum.Enum):
+    NEW = "new"
+    ESTABLISHED = "established"
+
+
+@dataclass(frozen=True)
+class FiveTuple:
+    """Flow identity: (proto, src host/port, dst host/port)."""
+
+    proto: Proto
+    src_host: str
+    src_port: int
+    dst_host: str
+    dst_port: int
+
+    def reversed(self) -> "FiveTuple":
+        return FiveTuple(self.proto, self.dst_host, self.dst_port,
+                         self.src_host, self.src_port)
+
+
+@dataclass(frozen=True)
+class Packet:
+    """The firewall-visible part of a segment/datagram."""
+
+    flow: FiveTuple
+    state: ConnState
+    payload_len: int = 0
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One INPUT-chain rule: match → verdict.
+
+    ``dport_min``/``dport_max`` bound the destination port (the appendix:
+    the UBF "would normally be configured ... to inspect connections on
+    ports numbered 1024 and above"); ``state`` restricts to NEW or
+    ESTABLISHED; None fields match everything.
+    """
+
+    verdict: Verdict
+    proto: Proto | None = None
+    dport_min: int | None = None
+    dport_max: int | None = None
+    state: ConnState | None = None
+    comment: str = ""
+
+    def matches(self, pkt: Packet) -> bool:
+        if self.proto is not None and pkt.flow.proto is not self.proto:
+            return False
+        if self.dport_min is not None and pkt.flow.dst_port < self.dport_min:
+            return False
+        if self.dport_max is not None and pkt.flow.dst_port > self.dport_max:
+            return False
+        if self.state is not None and pkt.state is not self.state:
+            return False
+        return True
+
+
+@dataclass
+class ConntrackEntry:
+    flow: FiveTuple
+    packets: int = 0
+    bytes: int = 0
+
+
+class ConntrackTable:
+    """Established-flow table; both directions of a flow share one entry."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._table: dict[FiveTuple, ConntrackEntry] = {}
+
+    def lookup(self, flow: FiveTuple) -> ConntrackEntry | None:
+        if not self.enabled:
+            return None
+        return self._table.get(flow) or self._table.get(flow.reversed())
+
+    def commit(self, flow: FiveTuple) -> ConntrackEntry:
+        entry = ConntrackEntry(flow)
+        if self.enabled:
+            self._table[flow] = entry
+        return entry
+
+    def evict(self, flow: FiveTuple) -> None:
+        self._table.pop(flow, None)
+        self._table.pop(flow.reversed(), None)
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+NfqueueHandler = Callable[[Packet], Verdict]
+
+
+@dataclass
+class Firewall:
+    """Per-host INPUT chain + conntrack + one nfqueue binding.
+
+    ``default_policy`` applies when no rule matches (stock hosts ship
+    ACCEPT).  Metrics are shared with the owning fabric when provided.
+    """
+
+    rules: list[Rule] = field(default_factory=list)
+    default_policy: Verdict = Verdict.ACCEPT
+    conntrack: ConntrackTable = field(default_factory=ConntrackTable)
+    metrics: MetricSet = field(default_factory=MetricSet)
+    _nfqueue: NfqueueHandler | None = None
+
+    def bind_nfqueue(self, handler: NfqueueHandler) -> None:
+        self._nfqueue = handler
+
+    def evaluate(self, pkt: Packet) -> Verdict:
+        """Run a packet through conntrack then the INPUT chain.
+
+        ESTABLISHED fast path: a conntrack hit accepts immediately without
+        touching the rules or the userspace daemon — this is what keeps the
+        UBF's cost off the per-packet path.
+        """
+        entry = self.conntrack.lookup(pkt.flow)
+        if entry is not None:
+            entry.packets += 1
+            entry.bytes += pkt.payload_len
+            self.metrics.counter("conntrack_fastpath_packets").inc()
+            return Verdict.ACCEPT
+        self.metrics.counter("rule_walks").inc()
+        for rule in self.rules:
+            if not rule.matches(pkt):
+                continue
+            if rule.verdict is Verdict.NFQUEUE:
+                self.metrics.counter("nfqueue_decisions").inc()
+                if self._nfqueue is None:
+                    # queue with no daemon: kernel drops (fail closed)
+                    return Verdict.DROP
+                verdict = self._nfqueue(pkt)
+                if verdict is Verdict.ACCEPT:
+                    self.conntrack.commit(pkt.flow)
+                return verdict
+            if rule.verdict is Verdict.ACCEPT:
+                self.conntrack.commit(pkt.flow)
+            return rule.verdict
+        if self.default_policy is Verdict.ACCEPT:
+            self.conntrack.commit(pkt.flow)
+        return self.default_policy
+
+
+def ubf_ruleset(low_port_policy: Verdict = Verdict.ACCEPT) -> list[Rule]:
+    """The appendix ruleset: NEW connections to ports ≥1024 go to the UBF
+    daemon via nfqueue; privileged ports (root-run system services such as
+    sshd, identd, the scheduler) follow *low_port_policy*; everything
+    ESTABLISHED is conntrack's business and never reaches these rules."""
+    return [
+        Rule(Verdict.NFQUEUE, dport_min=1024, state=ConnState.NEW,
+             comment="UBF: user-port NEW connections to userspace daemon"),
+        Rule(low_port_policy, dport_max=1023, state=ConnState.NEW,
+             comment="system services on privileged ports"),
+    ]

@@ -1,0 +1,56 @@
+"""RFC 1413-style ident service.
+
+Section IV-D: "During the establishment of a new connection an ident-like
+query is sent from the receiving system to initiating system to get user
+information, and the same query run locally."
+
+The responder answers "who owns local port P (proto)?" with the owning
+process's uid and *current* effective gid.  A cross-host query is one network
+round trip; the counter feeds experiment E8's cost model.  Queries about
+unowned ports return None (connection will be denied — fail closed).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.net.firewall import Proto
+from repro.net.stack import Fabric, HostStack
+
+
+@dataclass(frozen=True)
+class IdentReply:
+    uid: int
+    egid: int
+    groups: frozenset[int]
+
+
+class IdentService:
+    """One responder per host (conceptually the identd daemon on port 113).
+
+    ``query_local`` models the daemon consulting its own kernel socket
+    table; ``query_remote`` models the receiving host's UBF daemon asking
+    the initiating host's identd over the fabric (one RTT)."""
+
+    def __init__(self, stack: HostStack):
+        self.stack = stack
+
+    def query_local(self, proto: Proto, port: int) -> IdentReply | None:
+        owner = self.stack.socket_owner(proto, port)
+        if owner is None:
+            return None
+        creds = owner.creds
+        return IdentReply(uid=creds.uid, egid=creds.egid, groups=creds.groups)
+
+
+def remote_ident_query(fabric: Fabric, from_host: str, target_host: str,
+                       proto: Proto, port: int) -> IdentReply | None:
+    """The receiving system's daemon querying the initiating system.
+
+    Counts one round trip in the fabric metrics (priced by the E8 cost
+    model).  The responder is trusted — cluster hosts run the same system
+    image, matching the paper's trust model.
+    """
+    fabric.metrics.counter("ident_round_trips").inc()
+    responder = IdentService(fabric.host(target_host))
+    return responder.query_local(proto, port)

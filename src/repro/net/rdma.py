@@ -1,0 +1,121 @@
+"""InfiniBand / RDMA queue pairs and the UBF coverage boundary.
+
+Appendix: "While the UBF does not directly affect code using Infiniband
+verbs or remote direct memory access (RDMA), many such applications use a
+TCP connection as a control channel to set up their Infiniband queue pairs
+(QPs) and thus can be effectively controlled by the UBF.  This does not
+prevent applications from using the connection manager (CM) directly to set
+up their QPs, and any application that does this would not be controlled by
+the UBF."
+
+Model: a QP is usable once both sides exchange QP numbers.  The exchange
+happens either over a TCP control channel (``connect_qp_tcp``) — which goes
+through the simulated stack and therefore the UBF — or via the native IB
+connection manager (``connect_qp_cm``) which bypasses the IP stack entirely.
+Once connected, ``rdma_write``/``rdma_read`` move bytes between the peers'
+registered memory regions with no further checks, faithfully reproducing the
+residual leak path of experiment E10.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.kernel.errors import InvalidArgument, NotConnected
+from repro.kernel.process import Process
+from repro.net.firewall import Proto
+from repro.net.stack import Fabric, HostStack
+
+_qp_numbers = itertools.count(1)
+
+
+@dataclass
+class MemoryRegion:
+    """A registered RDMA buffer (numpy-backed, like a pinned region)."""
+
+    buf: np.ndarray  # dtype uint8
+
+    @classmethod
+    def alloc(cls, size: int) -> "MemoryRegion":
+        return cls(np.zeros(size, dtype=np.uint8))
+
+    def write(self, offset: int, data: bytes) -> None:
+        a = np.frombuffer(data, dtype=np.uint8)
+        self.buf[offset:offset + a.size] = a
+
+    def read(self, offset: int, size: int) -> bytes:
+        return self.buf[offset:offset + size].tobytes()
+
+
+@dataclass
+class QueuePair:
+    """One side of an RDMA connection."""
+
+    host: str
+    owner: Process
+    mr: MemoryRegion
+    qpn: int = field(default_factory=lambda: next(_qp_numbers))
+    peer: "QueuePair | None" = None
+
+    @property
+    def connected(self) -> bool:
+        return self.peer is not None
+
+    # one-sided verbs: no peer CPU involvement, no firewall involvement
+    def rdma_write(self, offset: int, data: bytes) -> None:
+        if self.peer is None:
+            raise NotConnected("QP not connected")
+        self.peer.mr.write(offset, data)
+
+    def rdma_read(self, offset: int, size: int) -> bytes:
+        if self.peer is None:
+            raise NotConnected("QP not connected")
+        return self.peer.mr.read(offset, size)
+
+
+class RDMAFabric:
+    """QP setup paths over an existing :class:`Fabric`."""
+
+    def __init__(self, fabric: Fabric):
+        self.fabric = fabric
+
+    def create_qp(self, host: str, owner: Process, mr_size: int = 4096) -> QueuePair:
+        return QueuePair(host=host, owner=owner, mr=MemoryRegion.alloc(mr_size))
+
+    def connect_qp_tcp(self, client_qp: QueuePair, server_qp: QueuePair,
+                       control_port: int) -> None:
+        """QP-number exchange over a TCP control channel.
+
+        The server side must already have a process listening on
+        *control_port*; the client's connect traverses the normal stack —
+        and therefore the UBF.  A UBF denial (TimedOut) propagates and the
+        QPs stay unconnected."""
+        server_stack: HostStack = self.fabric.host(server_qp.host)
+        listener = server_stack.lookup(Proto.TCP, control_port)
+        if listener is None or not listener.listening:
+            raise InvalidArgument(
+                f"no control-channel listener on {server_qp.host}:{control_port}"
+            )
+        client_stack = self.fabric.host(client_qp.host)
+        conn = client_stack.connect(client_qp.owner, server_qp.host,
+                                    control_port)
+        # exchange QPNs over the (now UBF-approved) channel
+        conn.send(str(client_qp.qpn).encode())
+        server_end = server_stack.accept(listener)
+        server_end.recv()
+        server_end.send(str(server_qp.qpn).encode())
+        conn.recv()
+        conn.close()
+        client_qp.peer = server_qp
+        server_qp.peer = client_qp
+        self.fabric.metrics.counter("qp_setup_tcp").inc()
+
+    def connect_qp_cm(self, client_qp: QueuePair, server_qp: QueuePair) -> None:
+        """QP setup via the native IB connection manager: no TCP, no IP
+        stack, no firewall — the residual path the appendix documents."""
+        client_qp.peer = server_qp
+        server_qp.peer = client_qp
+        self.fabric.metrics.counter("qp_setup_cm").inc()

@@ -1,0 +1,7 @@
+"""Web portal/gateway substrate: authenticated forwarding of compute-node
+web apps through the UBF-governed fabric."""
+
+from repro.portal.gateway import Portal, PortalSession
+from repro.portal.webapp import WebApp, launch_webapp
+
+__all__ = ["Portal", "PortalSession", "WebApp", "launch_webapp"]

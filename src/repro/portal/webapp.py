@@ -1,0 +1,58 @@
+"""Simulated web applications running on compute nodes.
+
+The LLSC portal forwards "applications like Jupyter notebooks, Jupyter labs,
+TensorBoard, and more" from any compute node to the user (Section IV-E).
+A :class:`WebApp` here is a process that listens on a user port and answers
+each connection with its content — enough surface to test the portal's
+authentication and the UBF-governed forwarding path.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.kernel.node import LinuxNode
+from repro.kernel.process import Process
+from repro.net.stack import BoundSocket
+
+_app_ids = itertools.count(1)
+
+
+@dataclass
+class WebApp:
+    """A Jupyter/TensorBoard-style app bound to (node, port)."""
+
+    node: LinuxNode
+    process: Process
+    port: int
+    title: str
+    listener: BoundSocket
+    app_id: int = field(default_factory=lambda: next(_app_ids))
+
+    @property
+    def owner_uid(self) -> int:
+        return self.process.creds.uid
+
+    def content(self) -> bytes:
+        """What the app serves (contains owner-identifying data, which is
+        exactly what must not leak to other users)."""
+        return f"{self.title} [uid={self.owner_uid}] session".encode()
+
+    def handle_pending(self) -> int:
+        """Accept and answer every queued connection; returns count."""
+        handled = 0
+        while self.listener.accept_queue:
+            server_end = self.node.net.accept(self.listener)
+            server_end.recv()  # the HTTP request
+            server_end.send(self.content())
+            handled += 1
+        return handled
+
+
+def launch_webapp(node: LinuxNode, process: Process, port: int,
+                  title: str) -> WebApp:
+    """Start an app: bind + listen on a user port as *process*."""
+    listener = node.net.listen(node.net.bind(process, port))
+    return WebApp(node=node, process=process, port=port, title=title,
+                  listener=listener)

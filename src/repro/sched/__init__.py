@@ -1,0 +1,36 @@
+"""Slurm-like scheduler substrate: jobs, nodes, policies, PrivateData,
+accounting, and the GPU prolog/epilog."""
+
+from repro.sched.accounting import (
+    AccountingDB,
+    UsageRecord,
+    UsageSummary,
+    usage_summary,
+)
+from repro.sched.jobs import Allocation, Job, JobSpec, JobState
+from repro.sched.nodes import ComputeNode
+from repro.sched.partitions import DEFAULT_PARTITION, Partition
+from repro.sched.policies import NodeSharing, tasks_placeable
+from repro.sched.privatedata import JobRow, PrivateData, SchedulerView
+from repro.sched.prolog_epilog import (
+    GPU_MODE_ASSIGNED,
+    GPU_MODE_STOCK,
+    GPU_MODE_UNASSIGNED,
+    GpuSeparationConfig,
+    gpu_dev_path,
+    make_epilog,
+    make_prolog,
+)
+from repro.sched.scheduler import Scheduler, SchedulerConfig
+
+__all__ = [
+    "AccountingDB", "UsageRecord", "UsageSummary", "usage_summary",
+    "Allocation", "Job", "JobSpec", "JobState",
+    "ComputeNode",
+    "DEFAULT_PARTITION", "Partition",
+    "NodeSharing", "tasks_placeable",
+    "JobRow", "PrivateData", "SchedulerView",
+    "GPU_MODE_ASSIGNED", "GPU_MODE_STOCK", "GPU_MODE_UNASSIGNED",
+    "GpuSeparationConfig", "gpu_dev_path", "make_epilog", "make_prolog",
+    "Scheduler", "SchedulerConfig",
+]

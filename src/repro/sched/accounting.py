@@ -1,0 +1,105 @@
+"""Job accounting records (what ``sacct`` reads).
+
+Accounting data is leak-sensitive (Section IV-B: PrivateData hides "usage,
+scheduling, information, accounting information"); the raw database here is
+unfiltered, and :mod:`repro.sched.privatedata` applies the viewer filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.sched.jobs import Job, JobState
+
+
+@dataclass(frozen=True)
+class UsageRecord:
+    job_id: int
+    uid: int
+    user_name: str
+    job_name: str
+    command: str
+    state: JobState
+    submit_time: float
+    start_time: float | None
+    end_time: float | None
+    core_seconds: float
+    nodes: tuple[str, ...]
+
+
+class AccountingDB:
+    """Append-only record store, one row per finished job."""
+
+    def __init__(self):
+        self._records: list[UsageRecord] = []
+
+    def record(self, job: Job) -> UsageRecord:
+        rec = UsageRecord(
+            job_id=job.job_id,
+            uid=job.uid,
+            user_name=job.spec.user.name,
+            job_name=job.spec.name,
+            command=job.spec.command,
+            state=job.state,
+            submit_time=job.submit_time,
+            start_time=job.start_time,
+            end_time=job.end_time,
+            core_seconds=job.core_seconds(),
+            nodes=tuple(job.nodes),
+        )
+        self._records.append(rec)
+        return rec
+
+    def all_records(self) -> list[UsageRecord]:
+        return list(self._records)
+
+    def user_records(self, uid: int) -> list[UsageRecord]:
+        return [r for r in self._records if r.uid == uid]
+
+    def total_core_seconds(self, uid: int | None = None) -> float:
+        recs = self._records if uid is None else self.user_records(uid)
+        return sum(r.core_seconds for r in recs)
+
+
+@dataclass(frozen=True)
+class UsageSummary:
+    """Aggregated usage (what sreport prints)."""
+
+    edges: np.ndarray                 # bucket edges, length n+1
+    by_user: dict[str, float]         # total core-seconds per user
+    series: dict[str, np.ndarray]     # per-user core-seconds per bucket
+    jobs_by_user: dict[str, int]
+
+    def top_users(self, k: int = 5) -> list[tuple[str, float]]:
+        return sorted(self.by_user.items(), key=lambda kv: -kv[1])[:k]
+
+
+def usage_summary(records: list[UsageRecord], *, t_end: float,
+                  n_buckets: int = 10, t_start: float = 0.0) -> UsageSummary:
+    """Vectorised time-bucketed usage: each job's core-seconds spread over
+    the buckets it overlaps, proportionally (numpy, no Python loop over
+    buckets)."""
+    edges = np.linspace(t_start, t_end, n_buckets + 1)
+    by_user: dict[str, float] = {}
+    series: dict[str, np.ndarray] = {}
+    jobs_by_user: dict[str, int] = {}
+    ran = [r for r in records
+           if r.start_time is not None and r.end_time is not None
+           and r.end_time > r.start_time]
+    for name in {r.user_name for r in ran}:
+        urecs = [r for r in ran if r.user_name == name]
+        starts = np.array([r.start_time for r in urecs])
+        ends = np.array([r.end_time for r in urecs])
+        rates = np.array([r.core_seconds for r in urecs]) / (ends - starts)
+        # overlap[i, j] = time job i spends inside bucket j
+        lo = np.maximum(starts[:, None], edges[None, :-1])
+        hi = np.minimum(ends[:, None], edges[None, 1:])
+        overlap = np.clip(hi - lo, 0.0, None)
+        per_bucket = (overlap * rates[:, None]).sum(axis=0)
+        series[name] = per_bucket
+        by_user[name] = float(per_bucket.sum())
+        jobs_by_user[name] = len(urecs)
+    return UsageSummary(edges=edges, by_user=by_user, series=series,
+                        jobs_by_user=jobs_by_user)

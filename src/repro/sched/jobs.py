@@ -1,0 +1,129 @@
+"""Job model: specifications, states, allocations.
+
+The vocabulary follows Slurm: a *job* asks for ``ntasks`` tasks of
+``cores_per_task`` cores (plus memory and optionally GPUs); the scheduler
+spreads tasks over nodes according to the active node-sharing policy and
+records per-node :class:`Allocation` objects.  Job properties carry exactly
+the fields Section IV-B lists as leak-sensitive (name, command, workdir),
+which :mod:`repro.sched.privatedata` must redact.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.kernel.users import User
+
+
+class JobState(enum.Enum):
+    PENDING = "PD"
+    RUNNING = "R"
+    COMPLETED = "CD"
+    FAILED = "F"
+    CANCELLED = "CA"
+    NODE_FAIL = "NF"
+
+    @property
+    def finished(self) -> bool:
+        return self in (JobState.COMPLETED, JobState.FAILED,
+                        JobState.CANCELLED, JobState.NODE_FAIL)
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """What the user submits (sbatch/srun arguments)."""
+
+    user: User
+    name: str
+    ntasks: int = 1
+    cores_per_task: int = 1
+    mem_mb_per_task: int = 1000
+    gpus_per_task: int = 0
+    command: str = "./run.sh"
+    workdir: str = "/home"
+    exclusive: bool = False  # per-job --exclusive request
+    oom_bomb: bool = False   # misbehaving job: exhausts node memory mid-run
+    partition: str = "normal"
+    #: optional batch script run (as the user, on the head node) at job
+    #: start; receives a :class:`JobContext`.  What sbatch scripts do.
+    script: "Callable[[JobContext], None] | None" = None
+
+    @property
+    def total_cores(self) -> int:
+        return self.ntasks * self.cores_per_task
+
+
+@dataclass
+class Allocation:
+    """Resources a job holds on one node."""
+
+    node: str
+    tasks: int
+    cores: int
+    mem_mb: int
+    gpu_indices: list[int] = field(default_factory=list)
+
+
+@dataclass
+class Job:
+    """A submitted job and its lifecycle."""
+
+    job_id: int
+    spec: JobSpec
+    duration: float  # how long the job runs once started (sim ground truth)
+    submit_time: float = 0.0
+    state: JobState = JobState.PENDING
+    start_time: float | None = None
+    end_time: float | None = None
+    allocations: list[Allocation] = field(default_factory=list)
+    reason: str = ""
+    array_id: int | None = None
+    array_index: int | None = None
+    stdout_lines: list[str] = field(default_factory=list)
+
+    @property
+    def stdout_path(self) -> str:
+        return f"{self.spec.workdir.rstrip('/')}/slurm-{self.job_id}.out"
+
+    @property
+    def uid(self) -> int:
+        return self.spec.user.uid
+
+    @property
+    def nodes(self) -> list[str]:
+        return [a.node for a in self.allocations]
+
+    @property
+    def wait_time(self) -> float | None:
+        if self.start_time is None:
+            return None
+        return self.start_time - self.submit_time
+
+    @property
+    def elapsed(self) -> float | None:
+        if self.start_time is None or self.end_time is None:
+            return None
+        return self.end_time - self.start_time
+
+    def core_seconds(self) -> float:
+        if self.elapsed is None:
+            return 0.0
+        return self.elapsed * sum(a.cores for a in self.allocations)
+
+
+@dataclass
+class JobContext:
+    """What a batch script sees: the job, the head node, and a syscall
+    façade running as the submitting user with the job's id (so spawned
+    work is reaped at job end).  ``print`` accumulates into the job's
+    ``slurm-<id>.out``."""
+
+    job: Job
+    node: object       # LinuxNode (untyped to avoid an import cycle)
+    sys: object        # SyscallInterface bound to the batch process
+    now: float
+
+    def print(self, *parts: object) -> None:
+        self.job.stdout_lines.append(" ".join(str(p) for p in parts))

@@ -1,0 +1,127 @@
+"""Scheduler-side view of compute nodes: capacity and allocations.
+
+A :class:`ComputeNode` pairs the kernel-level
+:class:`~repro.kernel.node.LinuxNode` with its schedulable resources (cores,
+memory, GPUs) and the live allocation table the node-sharing policy reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpu import GPUDevice
+from repro.kernel.devices import install_gpu_device
+from repro.kernel.node import LinuxNode, ROOT_CREDS
+from repro.kernel.errors import InvalidArgument
+from repro.sched.jobs import Allocation, Job
+
+
+@dataclass
+class ComputeNode:
+    """One schedulable node."""
+
+    node: LinuxNode
+    gpus: list[GPUDevice] = field(default_factory=list)
+    allocations: dict[int, Allocation] = field(default_factory=dict)
+    failed: bool = False
+    drained: bool = False  # admin drain: no new placements, jobs run out
+
+    @classmethod
+    def create(cls, node: LinuxNode, *, gpu_mem_bytes: int = 65536,
+               gpu_dev_mode: int = 0o666) -> "ComputeNode":
+        """Wrap a LinuxNode, instantiating its GPUs as /dev character files.
+
+        ``gpu_dev_mode`` is the *unallocated* permission: stock systems use
+        0666 (anyone may open any GPU); the LLSC preset uses 0o000 so
+        "GPUs that have not been assigned to a user are not visible at all".
+        """
+        gpus = []
+        for i in range(node.spec.gpus):
+            dev = GPUDevice(index=i, mem_bytes=gpu_mem_bytes)
+            install_gpu_device(node.vfs, ROOT_CREDS, i, dev, mode=gpu_dev_mode)
+            gpus.append(dev)
+        return cls(node=node, gpus=gpus)
+
+    # -- capacity ---------------------------------------------------------
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def total_cores(self) -> int:
+        return self.node.spec.cores
+
+    @property
+    def total_mem_mb(self) -> int:
+        return self.node.spec.mem_mb
+
+    @property
+    def used_cores(self) -> int:
+        return sum(a.cores for a in self.allocations.values())
+
+    @property
+    def used_mem_mb(self) -> int:
+        return sum(a.mem_mb for a in self.allocations.values())
+
+    @property
+    def free_cores(self) -> int:
+        return self.total_cores - self.used_cores
+
+    @property
+    def free_mem_mb(self) -> int:
+        return self.total_mem_mb - self.used_mem_mb
+
+    @property
+    def used_gpu_indices(self) -> set[int]:
+        return {i for a in self.allocations.values() for i in a.gpu_indices}
+
+    @property
+    def free_gpu_indices(self) -> list[int]:
+        used = self.used_gpu_indices
+        return [g.index for g in self.gpus if g.index not in used]
+
+    @property
+    def idle(self) -> bool:
+        return not self.allocations
+
+    def running_uids(self, jobs_by_id: dict[int, Job]) -> set[int]:
+        return {jobs_by_id[jid].uid for jid in self.allocations
+                if jid in jobs_by_id}
+
+    # -- allocation --------------------------------------------------------
+
+    def allocate(self, job: Job, tasks: int, *, whole_node: bool) -> Allocation:
+        """Reserve resources for *tasks* tasks of *job* on this node.
+
+        ``whole_node`` charges the full node (EXCLUSIVE semantics) so no
+        later job can fit, whatever its size."""
+        spec = job.spec
+        if whole_node:
+            cores, mem = self.total_cores, self.total_mem_mb
+        else:
+            cores = tasks * spec.cores_per_task
+            mem = tasks * spec.mem_mb_per_task
+        if cores > self.free_cores or mem > self.free_mem_mb:
+            raise InvalidArgument(
+                f"over-allocation on {self.name}: want {cores}c/{mem}MB, "
+                f"free {self.free_cores}c/{self.free_mem_mb}MB"
+            )
+        gpu_indices: list[int] = []
+        need_gpus = tasks * spec.gpus_per_task
+        if need_gpus:
+            free = self.free_gpu_indices
+            if len(free) < need_gpus:
+                raise InvalidArgument(f"not enough free GPUs on {self.name}")
+            gpu_indices = free[:need_gpus]
+        alloc = Allocation(node=self.name, tasks=tasks, cores=cores,
+                           mem_mb=mem, gpu_indices=gpu_indices)
+        self.allocations[job.job_id] = alloc
+        job.allocations.append(alloc)
+        return alloc
+
+    def release(self, job_id: int) -> Allocation | None:
+        return self.allocations.pop(job_id, None)
+
+    def gpu(self, index: int) -> GPUDevice:
+        return self.gpus[index]

@@ -1,0 +1,56 @@
+"""Node-sharing policies (paper Section IV-B).
+
+Three policies, in increasing order of separation:
+
+* ``SHARED`` — the scheduler default: any user's tasks may land on any node
+  with free resources.  Best raw utilization, no separation, and one user's
+  node-killing bug fails everyone's jobs on that node.
+
+* ``EXCLUSIVE`` — per-job whole-node allocation (``--exclusive``): a job
+  owns its nodes outright.  Separation is total, but "it results in poor
+  utilization if a user is executing many bulk synchronous parallel jobs
+  like parameter sweeps and Monte Carlo simulations" — each 1-core task
+  holds a 48-core node.
+
+* ``WHOLE_NODE_USER`` — LLSC's policy: "once a user's job is dispatched to
+  a compute node and there are unscheduled resources still available on that
+  node, only other jobs from that same user can be scheduled on that node."
+  Nodes are exclusive *per user*, not per job, so a user's own small jobs
+  pack together: separation of EXCLUSIVE, utilization close to SHARED for
+  bulk-parallel users (experiment E4 measures exactly this).
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class NodeSharing(enum.Enum):
+    SHARED = "shared"
+    EXCLUSIVE = "exclusive"
+    WHOLE_NODE_USER = "whole_node_user"
+
+
+def tasks_placeable(policy: NodeSharing, *, free_cores: int, free_mem_mb: int,
+                    free_gpus: int, cores_per_task: int, mem_mb_per_task: int,
+                    gpus_per_task: int, node_idle: bool,
+                    node_uids: set[int], job_uid: int,
+                    job_exclusive: bool) -> int:
+    """How many tasks of this job the node can accept right now.
+
+    Returns 0 when the policy forbids co-residence regardless of free
+    resources.  ``node_uids`` is the set of uids with running jobs on the
+    node.
+    """
+    if policy is NodeSharing.EXCLUSIVE or job_exclusive:
+        if not node_idle:
+            return 0
+    elif policy is NodeSharing.WHOLE_NODE_USER:
+        if not node_idle and node_uids != {job_uid}:
+            return 0
+    by_cores = free_cores // cores_per_task if cores_per_task else 0
+    by_mem = free_mem_mb // mem_mb_per_task if mem_mb_per_task else by_cores
+    n = min(by_cores, by_mem)
+    if gpus_per_task:
+        n = min(n, free_gpus // gpus_per_task)
+    return max(0, n)

@@ -1,0 +1,81 @@
+"""Scheduler prolog/epilog hooks: GPU device permissions and memory scrub.
+
+Section IV-F, both mechanisms:
+
+* **Assignment** (prolog): "modifying the permissions on relevant character
+  special files in /dev/ to allow only the user private group of the user
+  allocated that GPU via the scheduler.  With this method, GPUs that have
+  not been assigned to a user are not visible at all."
+
+* **Scrub** (epilog): "We have implemented vendor-provided steps to clear
+  the GPU, which are performed in the scheduler epilog script."
+
+The hooks compose: :func:`make_prolog` / :func:`make_epilog` build the
+callables the :class:`~repro.sched.scheduler.Scheduler` invokes per
+(job, node).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.kernel.node import ROOT_CREDS
+from repro.sched.jobs import Job
+from repro.sched.nodes import ComputeNode
+
+#: Unallocated-GPU device mode under the LLSC scheme: nobody (but root).
+GPU_MODE_UNASSIGNED = 0o000
+#: Allocated-GPU device mode: rw for owner group (the user private group).
+GPU_MODE_ASSIGNED = 0o660
+#: Stock mode: world-rw, any local user can open any GPU.
+GPU_MODE_STOCK = 0o666
+
+
+@dataclass(frozen=True)
+class GpuSeparationConfig:
+    """Which Section IV-F measures are active."""
+
+    assign_device_perms: bool = True
+    scrub_on_epilog: bool = True
+
+
+def gpu_dev_path(index: int) -> str:
+    return f"/dev/nvidia{index}"
+
+
+def make_prolog(cfg: GpuSeparationConfig):
+    """Prolog: before the job's tasks start on a node, chgrp+chmod the
+    job's allocated GPU device files to the owner's private group."""
+
+    def prolog(job: Job, node: ComputeNode) -> None:
+        if not cfg.assign_device_perms:
+            return
+        alloc = node.allocations.get(job.job_id)
+        if alloc is None or not alloc.gpu_indices:
+            return
+        upg = job.spec.user.primary_gid
+        for idx in alloc.gpu_indices:
+            path = gpu_dev_path(idx)
+            node.node.vfs.chown(path, ROOT_CREDS, gid=upg)
+            node.node.vfs.chmod(path, ROOT_CREDS, GPU_MODE_ASSIGNED)
+
+    return prolog
+
+
+def make_epilog(cfg: GpuSeparationConfig):
+    """Epilog: after the job ends, scrub GPU memory (vendor steps) and
+    return the device files to the unassigned state."""
+
+    def epilog(job: Job, node: ComputeNode) -> None:
+        alloc = node.allocations.get(job.job_id)
+        if alloc is None:
+            return
+        for idx in alloc.gpu_indices:
+            if cfg.scrub_on_epilog:
+                node.gpu(idx).scrub()
+            if cfg.assign_device_perms:
+                path = gpu_dev_path(idx)
+                node.node.vfs.chown(path, ROOT_CREDS, gid=0)
+                node.node.vfs.chmod(path, ROOT_CREDS, GPU_MODE_UNASSIGNED)
+
+    return epilog

@@ -1,0 +1,395 @@
+"""The cluster scheduler: FIFO + simple backfill over a node-sharing policy.
+
+This is the Slurm stand-in of Section IV-B.  It owns:
+
+* the pending queue and the dispatch loop (FIFO order, with an optional
+  backfill pass that lets later jobs start when the head job cannot);
+* policy-driven placement (:mod:`repro.sched.policies`);
+* prolog/epilog hooks — where GPU ``/dev`` permission changes and memory
+  scrubs happen (:mod:`repro.sched.prolog_epilog`);
+* the job-presence registry pam_slurm consults (ssh gating);
+* utilization/wait-time metrics (time-weighted, exact);
+* failure semantics for experiment E16: an ``oom_bomb`` job exhausts its
+  node's memory halfway through its run, killing every job on that node —
+  the "blast radius" the paper's whole-node policy contains.
+
+Backfill here is the reservation-less kind (scan past a blocked head job);
+that can delay very wide jobs under sustained small-job load, which is
+acceptable for the policy experiments this reproduces and is called out in
+DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.kernel.errors import NoSuchEntity, PermissionError_
+from repro.kernel.users import User
+from repro.sched.accounting import AccountingDB
+from repro.sched.jobs import Job, JobSpec, JobState
+from repro.sched.nodes import ComputeNode
+from repro.sched.partitions import DEFAULT_PARTITION, Partition
+from repro.sched.policies import NodeSharing, tasks_placeable
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet, TimeWeighted
+
+PrologHook = Callable[[Job, ComputeNode], None]
+EpilogHook = Callable[[Job, ComputeNode], None]
+
+
+@dataclass
+class SchedulerConfig:
+    policy: NodeSharing = NodeSharing.SHARED
+    backfill: bool = True
+    #: resubmit NODE_FAIL victims automatically (Slurm's JobRequeue)
+    requeue_on_node_fail: bool = False
+
+
+class Scheduler:
+    """Event-driven scheduler over a set of :class:`ComputeNode`."""
+
+    def __init__(self, engine: Engine, nodes: list[ComputeNode],
+                 config: SchedulerConfig | None = None,
+                 metrics: MetricSet | None = None,
+                 prolog: PrologHook | None = None,
+                 epilog: EpilogHook | None = None,
+                 partitions: list[Partition] | None = None):
+        self.engine = engine
+        self.nodes = {n.name: n for n in nodes}
+        self.config = config or SchedulerConfig()
+        if partitions is None:
+            partitions = [Partition(DEFAULT_PARTITION,
+                                    tuple(self.nodes))]
+        self.partitions = {p.name: p for p in partitions}
+        self.metrics = metrics or MetricSet()
+        self.prolog = prolog
+        self.epilog = epilog
+        self.accounting = AccountingDB()
+        self._ids = itertools.count(1)
+        self.jobs: dict[int, Job] = {}
+        self._queue: list[Job] = []
+        self._busy_cores = TimeWeighted()    # cores *charged* (occupancy)
+        self._useful_cores = TimeWeighted()  # cores running actual tasks
+        self.total_cores = sum(n.total_cores for n in nodes)
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, spec: JobSpec, duration: float, *,
+               at: float | None = None, array_id: int | None = None,
+               array_index: int | None = None) -> Job:
+        """Submit a job; it arrives at time *at* (default: now).
+
+        Raises on an unknown partition or a duration over the partition's
+        time limit (sbatch's ``--time`` rejection)."""
+        try:
+            partition = self.partitions[spec.partition]
+        except KeyError:
+            raise NoSuchEntity(f"partition {spec.partition!r}") from None
+        if not partition.accepts_duration(duration):
+            from repro.kernel.errors import InvalidArgument
+            raise InvalidArgument(
+                f"duration {duration} exceeds partition "
+                f"{partition.name!r} limit {partition.max_duration}")
+        job = Job(job_id=next(self._ids), spec=spec, duration=duration,
+                  array_id=array_id, array_index=array_index)
+        self.jobs[job.job_id] = job
+        arrival = self.engine.now if at is None else at
+        job.submit_time = arrival
+        self.engine.at(arrival, lambda: self._arrive(job))
+        return job
+
+    def submit_array(self, spec: JobSpec, durations: list[float], *,
+                     at: float | None = None) -> list[Job]:
+        """sbatch --array: one job per element, common array id."""
+        array_id = next(self._ids)
+        return [self.submit(spec, d, at=at, array_id=array_id,
+                            array_index=i)
+                for i, d in enumerate(durations)]
+
+    def array_jobs(self, array_id: int) -> list[Job]:
+        return sorted((j for j in self.jobs.values()
+                       if j.array_id == array_id),
+                      key=lambda j: j.array_index or 0)
+
+    def _arrive(self, job: Job) -> None:
+        if job.state is not JobState.PENDING:
+            return  # cancelled before its arrival event fired
+        self._queue.append(job)
+        self.metrics.counter("jobs_submitted").inc()
+        self._try_dispatch()
+
+    def cancel(self, job: Job, by: User) -> None:
+        """scancel: the owner or root only."""
+        if not by.is_root and by.uid != job.uid:
+            raise PermissionError_(f"{by.name} may not cancel job {job.job_id}")
+        if job.state is JobState.PENDING:
+            if job in self._queue:
+                self._queue.remove(job)
+            job.state = JobState.CANCELLED
+            job.end_time = self.engine.now
+        elif job.state is JobState.RUNNING:
+            self._finish(job, JobState.CANCELLED)
+
+    # -- placement --------------------------------------------------------------
+
+    def _policy_for(self, job: Job) -> NodeSharing:
+        override = self.partitions[job.spec.partition].policy_override
+        return override if override is not None else self.config.policy
+
+    def _nodes_for(self, job: Job):
+        for name in self.partitions[job.spec.partition].node_names:
+            yield self.nodes[name]
+
+    def _placement_for(self, job: Job) -> list[tuple[ComputeNode, int]] | None:
+        """Greedy first-fit plan: [(node, tasks)] covering all tasks, or
+        None if the job cannot start now under the active policy (within
+        the job's partition)."""
+        spec = job.spec
+        policy = self._policy_for(job)
+        whole = (policy is NodeSharing.EXCLUSIVE or spec.exclusive)
+        remaining = spec.ntasks
+        plan: list[tuple[ComputeNode, int]] = []
+        for node in self._nodes_for(job):
+            if node.failed or node.drained:
+                continue
+            n = tasks_placeable(
+                policy,
+                free_cores=node.free_cores,
+                free_mem_mb=node.free_mem_mb,
+                free_gpus=len(node.free_gpu_indices),
+                cores_per_task=spec.cores_per_task,
+                mem_mb_per_task=spec.mem_mb_per_task,
+                gpus_per_task=spec.gpus_per_task,
+                node_idle=node.idle,
+                node_uids=node.running_uids(self.jobs),
+                job_uid=job.uid,
+                job_exclusive=spec.exclusive,
+            )
+            if n <= 0:
+                continue
+            take = min(n, remaining)
+            plan.append((node, take))
+            remaining -= take
+            if remaining == 0:
+                return plan
+        return None
+
+    def _any_node_open(self) -> bool:
+        """Cheap pre-check: could *any* pending job conceivably start?
+        Avoids O(queue) scans when the machine is saturated."""
+        policies = {p.policy_override or self.config.policy
+                    for p in self.partitions.values()}
+        if policies == {NodeSharing.EXCLUSIVE}:
+            return any(n.idle and not n.failed for n in self.nodes.values())
+        return any(not n.failed and n.free_cores > 0 and n.free_mem_mb > 0
+                   for n in self.nodes.values())
+
+    def _try_dispatch(self) -> None:
+        """FIFO scan; with backfill, blocked jobs are skipped (not starved
+        forever in our workloads; see module docstring).  One pass per call
+        suffices: placements only consume resources, so a job that was
+        unplaceable earlier in the pass stays unplaceable."""
+        if not self._any_node_open():
+            return
+        placed_ids: set[int] = set()
+        for job in self._queue:
+            if job.state is not JobState.PENDING:
+                # already started (or failed during its batch step) in a
+                # re-entrant dispatch triggered mid-scan: purge, don't
+                # re-place
+                placed_ids.add(job.job_id)
+                continue
+            plan = self._placement_for(job)
+            if plan is None:
+                if not self.config.backfill:
+                    break
+                continue
+            self._start(job, plan)
+            placed_ids.add(job.job_id)
+            if not self._any_node_open():
+                break
+        if placed_ids:
+            self._queue = [j for j in self._queue
+                           if j.job_id not in placed_ids]
+
+    def _start(self, job: Job, plan: list[tuple[ComputeNode, int]]) -> None:
+        now = self.engine.now
+        job.state = JobState.RUNNING
+        job.start_time = now
+        whole = (self._policy_for(job) is NodeSharing.EXCLUSIVE
+                 or job.spec.exclusive)
+        for node, tasks in plan:
+            node.allocate(job, tasks, whole_node=whole)
+            if self.prolog is not None:
+                self.prolog(job, node)
+            creds = node.node.userdb.credentials_for(job.spec.user)
+            for _ in range(tasks):
+                node.node.procs.spawn(
+                    creds, [job.spec.command], job_id=job.job_id,
+                    cwd=job.spec.workdir, rss_mb=job.spec.mem_mb_per_task)
+        self._busy_cores.add(now, sum(a.cores for a in job.allocations))
+        self._useful_cores.add(
+            now, sum(a.tasks * job.spec.cores_per_task
+                     for a in job.allocations))
+        self.metrics.samples("wait_time").add(now - job.submit_time)
+        self.metrics.counter("jobs_started").inc()
+        if job.spec.script is not None:
+            self._run_batch_script(job, plan[0][0])
+        self.engine.at(now + job.duration, lambda: self._complete(job))
+        if job.spec.oom_bomb:
+            self.engine.at(now + job.duration / 2,
+                           lambda: self._trigger_oom(job))
+
+    def _run_batch_script(self, job: Job, head: ComputeNode) -> None:
+        """Execute the job's batch script on the head node, as the user.
+
+        A raised exception fails the job immediately (non-zero exit of the
+        batch step), with the error recorded in the job's stdout.
+        """
+        from repro.kernel.syscalls import SyscallInterface
+        from repro.sched.jobs import JobContext
+        creds = head.node.userdb.credentials_for(job.spec.user)
+        proc = head.node.procs.spawn(creds, ["batch", job.spec.command],
+                                     job_id=job.job_id,
+                                     cwd=job.spec.workdir)
+        ctx = JobContext(job=job, node=head.node,
+                         sys=SyscallInterface(head.node, proc),
+                         now=self.engine.now)
+        try:
+            job.spec.script(ctx)
+        except Exception as exc:  # batch step failed
+            job.stdout_lines.append(f"batch step failed: {exc}")
+            self.metrics.counter("script_failures").inc()
+            self._finish(job, JobState.FAILED)
+
+    def _write_stdout_file(self, job: Job) -> None:
+        """Materialise slurm-<id>.out in the workdir, as the user."""
+        if not job.stdout_lines:
+            return
+        node = self.nodes[job.allocations[0].node].node if job.allocations \
+            else next(iter(self.nodes.values())).node
+        creds = node.userdb.credentials_for(job.spec.user)
+        body = ("\n".join(job.stdout_lines) + "\n").encode()
+        try:
+            node.vfs.create(job.stdout_path, creds, mode=0o640, data=body)
+        except Exception:
+            try:
+                node.vfs.write(job.stdout_path, creds, body)
+            except Exception:  # pragma: no cover - unwritable workdir
+                pass
+
+    # -- completion ----------------------------------------------------------------
+
+    def _complete(self, job: Job) -> None:
+        if job.state is JobState.RUNNING:
+            self._finish(job, JobState.COMPLETED)
+
+    def _finish(self, job: Job, state: JobState) -> None:
+        now = self.engine.now
+        job.state = state
+        job.end_time = now
+        self._write_stdout_file(job)
+        self._busy_cores.add(now, -sum(a.cores for a in job.allocations))
+        self._useful_cores.add(
+            now, -sum(a.tasks * job.spec.cores_per_task
+                      for a in job.allocations))
+        for alloc in job.allocations:
+            node = self.nodes[alloc.node]
+            node.node.procs.kill_job(job.job_id)
+            if self.epilog is not None:
+                self.epilog(job, node)
+            node.release(job.job_id)
+        self.accounting.record(job)
+        self.metrics.counter(f"jobs_{state.name.lower()}").inc()
+        self._try_dispatch()
+
+    def _trigger_oom(self, job: Job) -> None:
+        """The misbehaving job exhausts memory on each of its nodes; the
+        kernel OOM-kills *everything* there.  Innocent victims die with
+        NODE_FAIL — unless separation policy kept them off those nodes."""
+        if job.state is not JobState.RUNNING:
+            return
+        victim_nodes = set(job.nodes)
+        casualties = [
+            other for other in self.jobs.values()
+            if other.state is JobState.RUNNING and other is not job
+            and victim_nodes & set(other.nodes)
+        ]
+        self._finish(job, JobState.FAILED)
+        for other in casualties:
+            self.metrics.counter("innocent_job_failures").inc()
+            self._finish(other, JobState.NODE_FAIL)
+
+    # -- node administration --------------------------------------------------------
+
+    def drain(self, node_name: str) -> None:
+        """scontrol update state=DRAIN: running jobs finish, nothing new."""
+        self.nodes[node_name].drained = True
+
+    def resume(self, node_name: str) -> None:
+        """scontrol update state=RESUME."""
+        node = self.nodes[node_name]
+        node.drained = False
+        node.failed = False
+        self._try_dispatch()
+
+    def fail_node(self, node_name: str) -> list[Job]:
+        """Hardware failure: every running job on the node dies NODE_FAIL;
+        with ``requeue_on_node_fail`` the victims go back to the queue.
+        Returns the affected jobs."""
+        node = self.nodes[node_name]
+        node.failed = True
+        victims = [self.jobs[jid] for jid in list(node.allocations)]
+        for job in victims:
+            self._finish(job, JobState.NODE_FAIL)
+            if self.config.requeue_on_node_fail:
+                self._requeue(job)
+        return victims
+
+    def _requeue(self, job: Job) -> None:
+        """Return a NODE_FAIL job to PENDING (same job id, fresh attempt)."""
+        job.state = JobState.PENDING
+        job.start_time = None
+        job.end_time = None
+        job.allocations = []
+        job.reason = "requeued after node failure"
+        self.metrics.counter("jobs_requeued").inc()
+        self._queue.append(job)
+        self._try_dispatch()
+
+    # -- queries ------------------------------------------------------------------
+
+    def user_has_job_on(self, uid: int, node_name: str) -> bool:
+        """pam_slurm's question: does *uid* have a running job on the node?"""
+        try:
+            node = self.nodes[node_name]
+        except KeyError:
+            raise NoSuchEntity(f"node {node_name!r}") from None
+        return any(self.jobs[jid].uid == uid for jid in node.allocations)
+
+    def pending(self) -> list[Job]:
+        return list(self._queue)
+
+    def running(self) -> list[Job]:
+        return [j for j in self.jobs.values() if j.state is JobState.RUNNING]
+
+    def utilization(self, t_end: float | None = None) -> float:
+        """Time-averaged fraction of cores doing *useful* work since t=0.
+        Under EXCLUSIVE a 1-core task on a 48-core node contributes 1 core
+        here (the paper's 'poor utilization'), not 48."""
+        t = self.engine.now if t_end is None else t_end
+        if self.total_cores == 0:
+            return 0.0
+        return self._useful_cores.mean(t) / self.total_cores
+
+    def occupancy(self, t_end: float | None = None) -> float:
+        """Time-averaged fraction of cores *charged* (allocated)."""
+        t = self.engine.now if t_end is None else t_end
+        if self.total_cores == 0:
+            return 0.0
+        return self._busy_cores.mean(t) / self.total_cores
+
+    def run(self, until: float | None = None) -> float:
+        return self.engine.run(until)

@@ -1,0 +1,30 @@
+"""Shell-command output rendering (ls -l, ps aux, squeue, getfacl, ...),
+always through the session's credentials."""
+
+from repro.shell.slurm_cli import (
+    parse_array,
+    parse_mem,
+    parse_time,
+    sbatch,
+    scancel,
+    scontrol_show_job,
+    scontrol_show_node,
+)
+from repro.shell.commands import (
+    getfacl_cmd,
+    id_cmd,
+    ls_l,
+    module_avail_cmd,
+    ps_aux,
+    sacct_cmd,
+    sinfo_cmd,
+    squeue_cmd,
+    sreport_cmd,
+)
+
+__all__ = [
+    "getfacl_cmd", "id_cmd", "ls_l", "module_avail_cmd", "ps_aux",
+    "sacct_cmd", "sinfo_cmd", "squeue_cmd", "sreport_cmd",
+    "parse_array", "parse_mem", "parse_time", "sbatch", "scancel",
+    "scontrol_show_job", "scontrol_show_node",
+]

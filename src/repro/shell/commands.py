@@ -1,0 +1,188 @@
+"""Textual command output: what users actually see at the prompt.
+
+The paper's usability claims are about what commands *show*: "users only
+see the things they should care about" (ps under hidepid), squeue listing
+only your own jobs, ``ls -l`` showing the smask-stripped modes.  This module
+renders the classic command outputs from a :class:`~repro.core.cluster.
+Session`, so examples and tests can assert on the exact text a user reads.
+
+Every function returns a string (joined lines); nothing here bypasses the
+syscall façade, so output is always what the session's credentials are
+entitled to see.
+"""
+
+from __future__ import annotations
+
+from repro.core.cluster import Cluster, Session
+from repro.kernel.errors import NoSuchEntity
+from repro.kernel.vfs import FileKind, Stat
+from repro.sched.jobs import JobState
+
+_KIND_CHAR = {
+    FileKind.DIR: "d",
+    FileKind.FILE: "-",
+    FileKind.DEVICE: "c",
+    FileKind.SOCKET: "s",
+    FileKind.SYMLINK: "l",
+}
+
+
+def _perm_string(mode: int, kind: FileKind) -> str:
+    out = [_KIND_CHAR[kind]]
+    for shift in (6, 3, 0):
+        bits = (mode >> shift) & 7
+        out.append("r" if bits & 4 else "-")
+        out.append("w" if bits & 2 else "-")
+        out.append("x" if bits & 1 else "-")
+    if mode & 0o1000:  # sticky
+        out[9] = "t" if out[9] == "x" else "T"
+    if mode & 0o2000:  # setgid
+        out[6] = "s" if out[6] == "x" else "S"
+    if mode & 0o4000:  # setuid
+        out[3] = "s" if out[3] == "x" else "S"
+    return "".join(out)
+
+
+def _name_of(session: Session, uid_or_gid: int, *, group: bool) -> str:
+    db = session.cluster.userdb
+    try:
+        return db.group(uid_or_gid).name if group else db.user(uid_or_gid).name
+    except NoSuchEntity:
+        return str(uid_or_gid)
+
+
+def _ls_row(session: Session, name: str, st: Stat) -> str:
+    owner = _name_of(session, st.uid, group=False)
+    grp = _name_of(session, st.gid, group=True)
+    return (f"{_perm_string(st.mode, st.kind)} {st.nlink:>2} "
+            f"{owner:<8} {grp:<8} {st.size:>8} {name}")
+
+
+def ls_l(session: Session, path: str) -> str:
+    """``ls -l path`` (directory listing or single entry)."""
+    st = session.sys.stat(path)
+    if st.kind is not FileKind.DIR:
+        return _ls_row(session, path, session.sys.lstat(path))
+    rows = []
+    for name in session.sys.listdir(path):
+        child = f"{path.rstrip('/')}/{name}"
+        rows.append(_ls_row(session, name, session.sys.lstat(child)))
+    return "\n".join(rows)
+
+
+def ps_aux(session: Session) -> str:
+    """``ps aux`` — hidepid-filtered, like the kernel serves it."""
+    header = f"{'USER':<10} {'PID':>6} {'RSS':>8} {'STAT':<4} COMMAND"
+    rows = [header]
+    for entry in session.sys.ps():
+        user = _name_of(session, entry.uid, group=False)
+        rows.append(f"{user:<10} {entry.pid:>6} {entry.rss_mb:>7}M "
+                    f"{entry.state:<4} {entry.cmdline}")
+    return "\n".join(rows)
+
+
+def id_cmd(session: Session) -> str:
+    """``id`` — the session's principal and groups."""
+    creds = session.creds
+    db = session.cluster.userdb
+    name = _name_of(session, creds.uid, group=False)
+    egid_name = _name_of(session, creds.egid, group=True)
+    groups = ",".join(
+        f"{g}({_name_of(session, g, group=True)})"
+        for g in sorted(creds.groups))
+    return (f"uid={creds.uid}({name}) gid={creds.egid}({egid_name}) "
+            f"groups={groups}")
+
+
+def getfacl_cmd(session: Session, path: str) -> str:
+    """``getfacl path``."""
+    st = session.sys.stat(path)
+    lines = [
+        f"# file: {path.lstrip('/')}",
+        f"# owner: {_name_of(session, st.uid, group=False)}",
+        f"# group: {_name_of(session, st.gid, group=True)}",
+        f"user::{_rwx((st.mode >> 6) & 7)}",
+    ]
+    for entry in session.sys.getfacl(path):
+        qualifier = _name_of(session, entry.qualifier,
+                             group=entry.tag == "group")
+        lines.append(f"{entry.tag}:{qualifier}:{_rwx(entry.perms)}")
+    lines.append(f"group::{_rwx((st.mode >> 3) & 7)}")
+    lines.append(f"other::{_rwx(st.mode & 7)}")
+    return "\n".join(lines)
+
+
+def _rwx(bits: int) -> str:
+    return (("r" if bits & 4 else "-") + ("w" if bits & 2 else "-")
+            + ("x" if bits & 1 else "-"))
+
+
+_STATE_NAME = {
+    JobState.PENDING: "PD", JobState.RUNNING: "R",
+    JobState.COMPLETED: "CD", JobState.FAILED: "F",
+    JobState.CANCELLED: "CA", JobState.NODE_FAIL: "NF",
+}
+
+
+def squeue_cmd(session: Session) -> str:
+    """``squeue`` — PrivateData-filtered."""
+    header = (f"{'JOBID':>7} {'PARTITION':<10} {'NAME':<16} {'USER':<10} "
+              f"{'ST':<3} NODELIST")
+    rows = [header]
+    for r in session.cluster.scheduler_view.squeue(session.user):
+        job = session.cluster.scheduler.jobs[r.job_id]
+        rows.append(f"{r.job_id:>7} {job.spec.partition:<10} "
+                    f"{r.job_name[:16]:<16} {r.user_name:<10} "
+                    f"{_STATE_NAME[r.state]:<3} {','.join(r.nodes) or '-'}")
+    return "\n".join(rows)
+
+
+def sacct_cmd(session: Session) -> str:
+    """``sacct`` — PrivateData-filtered accounting."""
+    header = (f"{'JOBID':>7} {'JOBNAME':<16} {'USER':<10} {'STATE':<10} "
+              f"{'CORE-SEC':>10}")
+    rows = [header]
+    for r in session.cluster.scheduler_view.sacct(session.user):
+        rows.append(f"{r.job_id:>7} {r.job_name[:16]:<16} "
+                    f"{r.user_name:<10} {r.state.name:<10} "
+                    f"{r.core_seconds:>10.1f}")
+    return "\n".join(rows)
+
+
+def sreport_cmd(session: Session, *, t_end: float,
+                n_buckets: int = 6) -> str:
+    """``sreport cluster UserUtilization`` — PrivateData-gated."""
+    summary = session.cluster.scheduler_view.sreport(
+        session.user, t_end=t_end, n_buckets=n_buckets)
+    header = f"{'USER':<10} {'JOBS':>5} {'CORE-SEC':>12}  USAGE-BY-BUCKET"
+    rows = [header]
+    for user, total in summary.top_users(k=100):
+        series = " ".join(f"{v:>8.0f}" for v in summary.series[user])
+        rows.append(f"{user:<10} {summary.jobs_by_user[user]:>5} "
+                    f"{total:>12.1f}  {series}")
+    return "\n".join(rows)
+
+
+def sinfo_cmd(cluster: Cluster) -> str:
+    """``sinfo`` — partitions and node occupancy (public shape data)."""
+    header = f"{'PARTITION':<10} {'NODES':>5} {'POLICY':<16} NODELIST"
+    rows = [header]
+    for p in cluster.scheduler.partitions.values():
+        policy = (p.policy_override or cluster.scheduler.config.policy).value
+        rows.append(f"{p.name:<10} {len(p.node_names):>5} {policy:<16} "
+                    f"{','.join(p.node_names)}")
+    return "\n".join(rows)
+
+
+def module_avail_cmd(session: Session, module_system) -> str:
+    """``module avail`` — DAC-filtered."""
+    names = module_system.avail(session.process)
+    if not names:
+        return "No modules available."
+    width = max(len(n) for n in names) + 2
+    per_row = max(1, 78 // width)
+    lines = []
+    for i in range(0, len(names), per_row):
+        lines.append("".join(n.ljust(width)
+                             for n in names[i:i + per_row]).rstrip())
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""Minimal discrete-event simulation engine.
+
+The scheduler experiments (E4, E16) need virtual time: job arrivals,
+dispatches and completions are events on a priority queue.  The engine is
+deliberately tiny — a monotonic clock plus a heap — because the paper's
+mechanisms are policy functions, not timing-sensitive protocols.  Events at
+equal timestamps fire in insertion order (a sequence number breaks ties), so
+runs are fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(compare=False, default=False)
+
+
+class SimClock:
+    """Virtual clock; only the engine advances it."""
+
+    def __init__(self):
+        self._now = 0.0
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def _advance(self, t: float) -> None:
+        if t < self._now:
+            raise ValueError(f"time cannot run backwards: {t} < {self._now}")
+        self._now = t
+
+
+class Engine:
+    """Event loop: schedule callables at absolute or relative virtual times."""
+
+    def __init__(self):
+        self.clock = SimClock()
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self.events_processed = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    def at(self, time: float, action: Callable[[], None]) -> _Event:
+        """Schedule *action* at absolute virtual time *time*."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        ev = _Event(time, next(self._seq), action)
+        heapq.heappush(self._heap, ev)
+        return ev
+
+    def after(self, delay: float, action: Callable[[], None]) -> _Event:
+        """Schedule *action* *delay* time units from now."""
+        if delay < 0:
+            raise ValueError("negative delay")
+        return self.at(self.now + delay, action)
+
+    def cancel(self, event: _Event) -> None:
+        event.cancelled = True
+
+    def run(self, until: float | None = None) -> float:
+        """Process events in order until the heap drains or *until* passes.
+
+        Returns the final clock value.
+        """
+        while self._heap:
+            if until is not None and self._heap[0].time > until:
+                self.clock._advance(until)
+                return self.now
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock._advance(ev.time)
+            self.events_processed += 1
+            ev.action()
+        if until is not None and until > self.now:
+            self.clock._advance(until)
+        return self.now
+
+    def step(self) -> bool:
+        """Process exactly one event; False when the heap is empty."""
+        while self._heap:
+            ev = heapq.heappop(self._heap)
+            if ev.cancelled:
+                continue
+            self.clock._advance(ev.time)
+            self.events_processed += 1
+            ev.action()
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)

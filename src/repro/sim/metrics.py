@@ -1,0 +1,114 @@
+"""Counters, gauges and time-weighted series for experiment harnesses.
+
+Benchmarks report utilization / wait-time / leak-count summaries; this module
+gives the simulators a single place to record them.  ``TimeWeighted`` keeps
+an exact time-integral of a piecewise-constant signal (e.g. busy cores), so
+utilization numbers are not sampling artifacts.  Summary math is numpy-based
+per the HPC guide (vectorise the analysis, not just the simulation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+
+class Counter:
+    """A monotonically increasing named count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, by: int = 1) -> None:
+        self.value += by
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Counter({self.name}={self.value})"
+
+
+class TimeWeighted:
+    """Time-integral of a piecewise-constant signal.
+
+    ``set(t, v)`` records that the signal took value *v* from time *t*
+    onwards; ``integral(t_end)`` returns ∫ signal dt over [t0, t_end], and
+    ``mean(t_end)`` the time-average.
+    """
+
+    def __init__(self, t0: float = 0.0, v0: float = 0.0):
+        self._last_t = t0
+        self._t0 = t0
+        self._value = v0
+        self._area = 0.0
+
+    @property
+    def current(self) -> float:
+        return self._value
+
+    def set(self, t: float, v: float) -> None:
+        if t < self._last_t:
+            raise ValueError("time went backwards")
+        self._area += self._value * (t - self._last_t)
+        self._last_t = t
+        self._value = v
+
+    def add(self, t: float, dv: float) -> None:
+        self.set(t, self._value + dv)
+
+    def integral(self, t_end: float) -> float:
+        return self._area + self._value * (t_end - self._last_t)
+
+    def mean(self, t_end: float) -> float:
+        span = t_end - self._t0
+        return self.integral(t_end) / span if span > 0 else 0.0
+
+
+@dataclass
+class Samples:
+    """Accumulates scalar observations (wait times, latencies)."""
+
+    name: str
+    values: list[float] = field(default_factory=list)
+
+    def add(self, v: float) -> None:
+        self.values.append(float(v))
+
+    def asarray(self) -> np.ndarray:
+        return np.asarray(self.values, dtype=float)
+
+    def summary(self) -> dict[str, float]:
+        if not self.values:
+            return {"n": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "max": 0.0}
+        a = self.asarray()
+        return {
+            "n": int(a.size),
+            "mean": float(a.mean()),
+            "p50": float(np.percentile(a, 50)),
+            "p95": float(np.percentile(a, 95)),
+            "max": float(a.max()),
+        }
+
+
+class MetricSet:
+    """Named registry of counters/samples shared by a simulation run."""
+
+    def __init__(self):
+        self._counters: dict[str, Counter] = {}
+        self._samples: dict[str, Samples] = {}
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def samples(self, name: str) -> Samples:
+        if name not in self._samples:
+            self._samples[name] = Samples(name)
+        return self._samples[name]
+
+    def report(self) -> dict[str, object]:
+        out: dict[str, object] = {c.name: c.value for c in self._counters.values()}
+        for s in self._samples.values():
+            out[s.name] = s.summary()
+        return out

@@ -1,0 +1,40 @@
+"""Seeded randomness utilities.
+
+Every stochastic component takes an explicit ``numpy.random.Generator``
+(never the global singleton), following the reproducibility idiom of the
+HPC-parallel guides: identical seeds give identical traces, and independent
+substreams come from ``spawn`` so adding a workload never perturbs another's
+draws.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_SEED = 0xC0FFEE
+
+
+def make_rng(seed: int | None = DEFAULT_SEED) -> np.random.Generator:
+    """Create the root generator for a simulation run."""
+    return np.random.default_rng(seed)
+
+
+def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive *n* statistically independent child generators."""
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
+
+
+def poisson_arrivals(rng: np.random.Generator, rate: float, horizon: float,
+                     start: float = 0.0) -> np.ndarray:
+    """Arrival times of a Poisson process with *rate* events/unit on
+    [start, start+horizon). Vectorised: draws exponential gaps in one call
+    with a safety margin, extending only in the rare shortfall case."""
+    if rate <= 0:
+        return np.empty(0)
+    n_guess = max(16, int(rate * horizon * 1.5) + 8)
+    gaps = rng.exponential(1.0 / rate, size=n_guess)
+    times = start + np.cumsum(gaps)
+    while times.size and times[-1] < start + horizon:
+        more = rng.exponential(1.0 / rate, size=n_guess)
+        times = np.concatenate([times, times[-1] + np.cumsum(more)])
+    return times[times < start + horizon]

@@ -1,0 +1,12 @@
+"""File-transfer substrate: scp/sftp over the UBF-governed fabric, with
+PAM-gated remote ends and DAC-enforced remote file access."""
+
+from repro.transfer.scp import (
+    RemoteSpec,
+    SSH_PORT,
+    TransferResult,
+    ensure_sshd,
+    scp,
+)
+
+__all__ = ["RemoteSpec", "SSH_PORT", "TransferResult", "ensure_sshd", "scp"]

@@ -1,0 +1,137 @@
+"""File transfer over the fabric: scp/sftp semantics on the simulated stack.
+
+Data transfer nodes (DTNs) are in the paper's node taxonomy ("login nodes,
+data transfer nodes, and interactive debug queue nodes" remain multi-user),
+and file transfer is the workflow that touches *every* separation layer at
+once:
+
+* the ssh hop is PAM-gated — scp *to a compute node* requires a running job
+  there (pam_slurm), while login/DTN targets are exempt;
+* the TCP hop to the remote sshd (a root service on port 22) crosses the
+  UBF — allowed, because root-owned services accept any user;
+* the remote side runs *as the authenticated user*, so every remote read
+  or write is an ordinary VFS access under DAC + smask: you can fetch your
+  own files, never a stranger's.
+
+``scp`` orchestrates both ends synchronously (the simulation is
+single-threaded), moving real bytes through a real connection object so the
+fabric metrics see the traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cluster import Cluster, Session
+from repro.kernel.node import LinuxNode
+from repro.kernel.errors import Exists
+from repro.kernel.syscalls import SyscallInterface
+from repro.net.firewall import Proto
+
+SSH_PORT = 22
+
+
+@dataclass(frozen=True)
+class TransferResult:
+    src: str
+    dst: str
+    bytes_moved: int
+
+
+@dataclass(frozen=True)
+class RemoteSpec:
+    host: str | None  # None = local to the session's node
+    path: str
+
+    @classmethod
+    def parse(cls, spec: str) -> "RemoteSpec":
+        if ":" in spec and not spec.startswith("/"):
+            host, _, path = spec.partition(":")
+            return cls(host=host, path=path)
+        return cls(host=None, path=spec)
+
+    def render(self) -> str:
+        return f"{self.host}:{self.path}" if self.host else self.path
+
+
+def ensure_sshd(node: LinuxNode) -> None:
+    """Idempotently bind the root-owned sshd listener on port 22."""
+    if node.net is None:
+        raise RuntimeError(f"node {node.name} has no network stack")
+    if node.net.lookup(Proto.TCP, SSH_PORT) is not None:
+        return
+    from repro.kernel.node import ROOT_CREDS
+    sshd = node.procs.spawn(ROOT_CREDS, ["/usr/sbin/sshd", "-D"],
+                            daemon=True)
+    node.net.listen(node.net.bind(sshd, SSH_PORT))
+
+
+class _RemoteEnd:
+    """One authenticated remote side of a transfer."""
+
+    def __init__(self, cluster: Cluster, session: Session, host: str):
+        node = cluster.node(host)
+        ensure_sshd(node)
+        # PAM: the same gate as an interactive ssh (pam_slurm on compute)
+        creds = node.open_session(session.user)
+        # the transport: a real connection through the remote firewall/UBF
+        self.conn = session.node.net.connect(session.process, host,
+                                             SSH_PORT)
+        server_listener = node.net.lookup(Proto.TCP, SSH_PORT)
+        self.server_conn = node.net.accept(server_listener)
+        # the per-user server process (sftp-server runs as the user)
+        proc = node.procs.spawn(creds, ["sftp-server"])
+        self.sys = SyscallInterface(node, proc)
+
+    def read(self, path: str) -> bytes:
+        data = self.sys.open_read(path)
+        self.server_conn.send(data or b"\x00")  # bytes transit the wire
+        return self.conn.recv() if data else data
+
+    def write(self, path: str, data: bytes, mode: int) -> None:
+        self.conn.send(data or b"\x00")
+        self.server_conn.recv()
+        try:
+            self.sys.create(path, mode=mode, data=data)
+        except Exists:
+            self.sys.open_write(path, data)
+
+    def close(self) -> None:
+        self.conn.close()
+        self.sys.exit()
+
+
+def scp(cluster: Cluster, session: Session, src: str, dst: str,
+        *, mode: int = 0o600) -> TransferResult:
+    """Copy *src* to *dst*; either may be ``host:path`` or a local path.
+
+    Raises exactly what the underlying layers raise: ``AccessDenied`` from
+    PAM or DAC, ``TimedOut`` from the UBF, ``NoSuchEntity`` for missing
+    sources.  New files are created ``mode`` (default 0600 — and the
+    remote smask applies on top, like any create).
+    """
+    s = RemoteSpec.parse(src)
+    d = RemoteSpec.parse(dst)
+
+    ends: list[_RemoteEnd] = []
+    try:
+        if s.host is None:
+            data = session.sys.open_read(s.path)
+        else:
+            end = _RemoteEnd(cluster, session, s.host)
+            ends.append(end)
+            data = end.read(s.path)
+        if d.host is None:
+            try:
+                session.sys.create(d.path, mode=mode, data=data)
+            except Exists:
+                session.sys.open_write(d.path, data)
+        else:
+            end = _RemoteEnd(cluster, session, d.host)
+            ends.append(end)
+            end.write(d.path, data, mode)
+    finally:
+        for end in ends:
+            end.close()
+    return TransferResult(src=s.render(), dst=d.render(),
+                          bytes_moved=len(data))

@@ -1,0 +1,25 @@
+"""Synthetic workloads: simulated MPI, job generators, multi-user traces."""
+
+from repro.workloads.generators import (
+    JobRequest,
+    monte_carlo_jobs,
+    mpi_jobs,
+    submit_all,
+    sweep_jobs,
+)
+from repro.workloads.mpi import MPI_BASE_PORT, MPICommunicator, Rank
+from repro.workloads.secure_mpi import (
+    CryptoStats,
+    EncryptedChannel,
+    option1_exchange_cost_us,
+    option2_exchange_cost_us,
+)
+from repro.workloads.traces import Trace, UserProfile, build_trace
+
+__all__ = [
+    "JobRequest", "monte_carlo_jobs", "mpi_jobs", "submit_all", "sweep_jobs",
+    "MPI_BASE_PORT", "MPICommunicator", "Rank",
+    "CryptoStats", "EncryptedChannel", "option1_exchange_cost_us",
+    "option2_exchange_cost_us",
+    "Trace", "UserProfile", "build_trace",
+]

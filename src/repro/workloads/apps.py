@@ -1,0 +1,149 @@
+"""Canned applications: realistic batch scripts over the public API.
+
+Section II's point is that HPC users run *programs* — sweeps, Monte Carlo,
+MPI simulations, notebooks — not security mechanisms.  These factories
+build :class:`~repro.sched.jobs.JobSpec` batch scripts that do real work
+through the simulated system (numpy math, files in the user's home, network
+listeners, portal registration), so end-to-end tests and examples exercise
+the same code paths real workloads would.
+
+Each factory returns ``(spec_kwargs, script)`` pieces or submits directly
+via a cluster handle; results land in the user's home directory and the
+job's ``slurm-<id>.out``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.cluster import Cluster
+from repro.sched.jobs import Job, JobContext, JobSpec
+
+
+def submit_monte_carlo_pi(cluster: Cluster, username: str, *,
+                          samples: int = 100_000, seed: int = 0,
+                          duration: float = 60.0) -> Job:
+    """A Monte Carlo π estimator: computes with numpy inside the batch
+    script and writes the estimate to the user's home."""
+
+    def script(ctx: JobContext) -> None:
+        rng = np.random.default_rng(seed)
+        xy = rng.random((samples, 2))
+        inside = int(((xy ** 2).sum(axis=1) <= 1.0).sum())
+        pi_hat = 4.0 * inside / samples
+        out = f"{ctx.job.spec.workdir}/pi-estimate.txt"
+        ctx.sys.create(out, mode=0o640,
+                       data=f"{pi_hat:.6f} n={samples}\n".encode())
+        ctx.print(f"pi ~= {pi_hat:.6f} ({samples} samples)")
+
+    spec = JobSpec(user=cluster.user(username), name="mc-pi",
+                   workdir=f"/home/{username}", script=script,
+                   mem_mb_per_task=2000)
+    return cluster.scheduler.submit(spec, duration)
+
+
+def submit_sweep(cluster: Cluster, username: str, *,
+                 parameters: list[float],
+                 duration_per_task: float = 30.0) -> list[Job]:
+    """A parameter sweep as a job array: each element evaluates one
+    parameter (a cheap vectorised objective) and writes its row."""
+
+    jobs = []
+    for i, param in enumerate(parameters):
+        def script(ctx: JobContext, _p=param, _i=i) -> None:
+            x = np.linspace(0.0, 2 * np.pi, 1000)
+            score = float(np.trapezoid(np.sin(_p * x) ** 2, x))
+            row = f"{_i},{_p},{score:.6f}\n".encode()
+            path = f"{ctx.job.spec.workdir}/sweep-{_i:03d}.csv"
+            ctx.sys.create(path, mode=0o640, data=row)
+            ctx.print(f"param={_p} score={score:.4f}")
+
+        spec = JobSpec(user=cluster.user(username), name=f"sweep-{i}",
+                       workdir=f"/home/{username}", script=script)
+        jobs.append(cluster.scheduler.submit(spec, duration_per_task,
+                                             array_id=None, array_index=i))
+    return jobs
+
+
+def collect_sweep_results(cluster: Cluster, username: str) -> np.ndarray:
+    """Gather sweep rows from the user's home into an (n, 3) array."""
+    session = cluster.login(username)
+    rows = []
+    for name in session.sys.listdir(f"/home/{username}"):
+        if name.startswith("sweep-") and name.endswith(".csv"):
+            text = session.sys.open_read(
+                f"/home/{username}/{name}").decode()
+            rows.append([float(v) for v in text.strip().split(",")])
+    return np.array(sorted(rows)) if rows else np.empty((0, 3))
+
+
+def submit_service(cluster: Cluster, username: str, *, port: int,
+                   payload: bytes = b"model-server v0",
+                   duration: float = 1000.0) -> Job:
+    """A 'version 0' network service: the batch script binds a listener
+    and stores it for the test/example to poke (UBF-governed, §IV-D)."""
+
+    def script(ctx: JobContext) -> None:
+        sock = ctx.node.net.listen(ctx.node.net.bind(ctx.sys.process, port))
+        ctx.job.stdout_lines.append(f"listening on {ctx.node.name}:{port}")
+        # stash for the driver (simulation-side handle, not user data)
+        ctx.job.service_socket = sock  # type: ignore[attr-defined]
+        ctx.job.service_payload = payload  # type: ignore[attr-defined]
+
+    spec = JobSpec(user=cluster.user(username), name="v0-service",
+                   workdir=f"/home/{username}", script=script)
+    return cluster.scheduler.submit(spec, duration)
+
+
+def serve_pending(job: Job) -> int:
+    """Answer every queued connection on a :func:`submit_service` job."""
+    sock = getattr(job, "service_socket", None)
+    if sock is None:
+        return 0
+    served = 0
+    from repro.net.stack import Connection
+    while sock.accept_queue:
+        conn: Connection = sock.accept_queue.popleft()
+        conn.server.recv()
+        conn.server.send(getattr(job, "service_payload", b""))
+        served += 1
+    return served
+
+
+@dataclass(frozen=True)
+class TrainingRun:
+    job: Job
+    checkpoint_path: str
+
+
+def submit_training(cluster: Cluster, username: str, *,
+                    gpus: int = 1, steps: int = 50, seed: int = 1,
+                    duration: float = 300.0) -> TrainingRun:
+    """A GPU 'training' job: runs an SGD-like loop on numpy data, writes a
+    checkpoint to the home directory AND leaves the final weights resident
+    in GPU memory — the residue Section IV-F's epilog must scrub."""
+    checkpoint = f"/home/{username}/checkpoint.pkl"
+
+    def script(ctx: JobContext) -> None:
+        rng = np.random.default_rng(seed)
+        w = np.zeros(16)
+        target = rng.standard_normal(16)
+        for step in range(steps):
+            grad = 2.0 * (w - target)
+            w -= 0.1 * grad
+        loss = float(((w - target) ** 2).sum())
+        ctx.sys.create(checkpoint, mode=0o600, data=pickle.dumps(w))
+        idx = ctx.job.allocations[0].gpu_indices
+        if idx:
+            ctx.sys.open_write(f"/dev/nvidia{idx[0]}",
+                               w.tobytes())  # weights stay resident
+        ctx.print(f"final loss {loss:.2e} after {steps} steps")
+
+    spec = JobSpec(user=cluster.user(username), name="train",
+                   workdir=f"/home/{username}", gpus_per_task=gpus,
+                   script=script)
+    job = cluster.scheduler.submit(spec, duration)
+    return TrainingRun(job=job, checkpoint_path=checkpoint)

@@ -1,0 +1,87 @@
+"""Synthetic job generators for the scheduling experiments.
+
+Section IV-B motivates the whole-node-per-user policy with users "executing
+many bulk synchronous parallel jobs like parameter sweeps and Monte Carlo
+simulations" — lots of small short tasks — alongside wide MPI jobs.  These
+generators produce exactly those mixes, parameterised and seeded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.kernel.users import User
+from repro.sched.jobs import JobSpec
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """A job plus its simulated runtime and arrival offset."""
+
+    spec: JobSpec
+    duration: float
+    arrival: float
+
+
+def sweep_jobs(user: User, rng: np.random.Generator, *, n_jobs: int,
+               horizon: float, mean_duration: float = 60.0,
+               cores_per_task: int = 1, mem_mb: int = 1000) -> list[JobRequest]:
+    """A parameter sweep: *n_jobs* single-task jobs, arrivals uniform over
+    the horizon (submitted by a launcher script in bursts), durations
+    exponential around *mean_duration*."""
+    arrivals = np.sort(rng.uniform(0.0, horizon, size=n_jobs))
+    durations = rng.exponential(mean_duration, size=n_jobs)
+    return [
+        JobRequest(
+            spec=JobSpec(user=user, name=f"{user.name}-sweep-{i}",
+                         ntasks=1, cores_per_task=cores_per_task,
+                         mem_mb_per_task=mem_mb,
+                         command=f"./sweep.sh --index {i}"),
+            duration=float(max(1.0, durations[i])),
+            arrival=float(arrivals[i]))
+        for i in range(n_jobs)
+    ]
+
+
+def monte_carlo_jobs(user: User, rng: np.random.Generator, *, n_jobs: int,
+                     horizon: float, mean_duration: float = 120.0,
+                     mem_mb: int = 2000) -> list[JobRequest]:
+    """Monte Carlo batches: like a sweep but Poisson-bursty arrivals."""
+    gaps = rng.exponential(horizon / max(n_jobs, 1), size=n_jobs)
+    arrivals = np.minimum(np.cumsum(gaps), horizon * 0.999)
+    durations = rng.gamma(2.0, mean_duration / 2.0, size=n_jobs)
+    return [
+        JobRequest(
+            spec=JobSpec(user=user, name=f"{user.name}-mc-{i}", ntasks=1,
+                         mem_mb_per_task=mem_mb,
+                         command=f"./mc.sh --seed {i}"),
+            duration=float(max(1.0, durations[i])),
+            arrival=float(arrivals[i]))
+        for i in range(n_jobs)
+    ]
+
+
+def mpi_jobs(user: User, rng: np.random.Generator, *, n_jobs: int,
+             horizon: float, ntasks: int = 16, cores_per_task: int = 1,
+             mean_duration: float = 600.0, mem_mb: int = 2000) -> list[JobRequest]:
+    """Wide, long MPI jobs (a distributed simulation)."""
+    arrivals = np.sort(rng.uniform(0.0, horizon, size=n_jobs))
+    durations = rng.exponential(mean_duration, size=n_jobs)
+    return [
+        JobRequest(
+            spec=JobSpec(user=user, name=f"{user.name}-mpi-{i}",
+                         ntasks=ntasks, cores_per_task=cores_per_task,
+                         mem_mb_per_task=mem_mb,
+                         command="mpirun ./sim"),
+            duration=float(max(10.0, durations[i])),
+            arrival=float(arrivals[i]))
+        for i in range(n_jobs)
+    ]
+
+
+def submit_all(scheduler, requests: list[JobRequest]) -> list:
+    """Feed a batch of requests into a scheduler; returns the Job handles."""
+    return [scheduler.submit(r.spec, r.duration, at=r.arrival)
+            for r in requests]

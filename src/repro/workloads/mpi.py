@@ -1,0 +1,158 @@
+"""A simulated MPI layer over the cluster fabric (mpi4py-style API).
+
+The paper's Section II names MPI jobs as the canonical HPC workload whose
+frameworks "do not encrypt data or authenticate peer ranks"; Section IV-D's
+UBF is the system-level answer.  This module provides a small message-
+passing runtime whose rank-to-rank channels are ordinary TCP connections
+through the simulated stack — so *every* channel is subject to the UBF, and
+an all-same-user MPI job works unmodified while a cross-user connection
+attempt is dropped at setup.
+
+API shape follows mpi4py's lowercase (pickled object) methods: ``send`` /
+``recv`` / ``bcast`` / ``scatter`` / ``gather`` / ``allgather`` /
+``allreduce`` / ``barrier``.  NumPy arrays pass through pickle like any
+object; reductions use vectorised numpy ops.
+"""
+
+from __future__ import annotations
+
+import pickle
+from dataclasses import dataclass
+from typing import Any, Callable
+
+import numpy as np
+
+from repro.kernel.errors import InvalidArgument, TimedOut
+from repro.kernel.node import LinuxNode
+from repro.kernel.process import Process
+from repro.net.stack import BoundSocket, ConnectionEnd, Fabric
+
+#: Default base port for rank listeners (user ports, so UBF-inspected).
+MPI_BASE_PORT = 29500
+
+
+@dataclass
+class Rank:
+    """One MPI task: a process on a node plus its listener socket."""
+
+    rank: int
+    node: LinuxNode
+    process: Process
+    listener: BoundSocket
+
+
+class MPICommunicator:
+    """COMM_WORLD for one simulated MPI job.
+
+    Construction wires every rank's listener; channels between rank pairs
+    are opened lazily on first use and cached.  A UBF denial at channel
+    open surfaces as :class:`~repro.kernel.errors.TimedOut` — exactly the
+    hang an MPI job experiences on a firewalled fabric.
+    """
+
+    def __init__(self, fabric: Fabric, tasks: list[tuple[LinuxNode, Process]],
+                 *, base_port: int = MPI_BASE_PORT):
+        if not tasks:
+            raise InvalidArgument("empty communicator")
+        self.fabric = fabric
+        self.ranks: list[Rank] = []
+        for i, (node, proc) in enumerate(tasks):
+            listener = node.net.listen(node.net.bind(proc, base_port + i))
+            self.ranks.append(Rank(i, node, proc, listener))
+        # channels[(src, dst)] = src-side connection end
+        self._channels: dict[tuple[int, int], ConnectionEnd] = {}
+        self._server_ends: dict[tuple[int, int], ConnectionEnd] = {}
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def _channel(self, src: int, dst: int) -> ConnectionEnd:
+        key = (src, dst)
+        if key not in self._channels:
+            s, d = self.ranks[src], self.ranks[dst]
+            conn = s.node.net.connect(s.process, d.node.name,
+                                      d.listener.port)
+            self._channels[key] = conn
+            self._server_ends[key] = d.node.net.accept(d.listener)
+        return self._channels[key]
+
+    # -- point to point -------------------------------------------------------
+
+    def send(self, obj: Any, *, src: int, dest: int) -> None:
+        self._channel(src, dest).send(pickle.dumps(obj))
+
+    def recv(self, *, source: int, dest: int) -> Any:
+        self._channel(source, dest)  # ensure wired
+        data = self._server_ends[(source, dest)].recv()
+        if data == b"":
+            raise TimedOut(f"recv: nothing from rank {source}")
+        return pickle.loads(data)
+
+    # -- collectives ------------------------------------------------------------
+
+    def bcast(self, obj: Any, *, root: int = 0) -> list[Any]:
+        """Returns the per-rank received values (index = rank)."""
+        out: list[Any] = [None] * self.size
+        out[root] = obj
+        for r in range(self.size):
+            if r == root:
+                continue
+            self.send(obj, src=root, dest=r)
+            out[r] = self.recv(source=root, dest=r)
+        return out
+
+    def scatter(self, chunks: list[Any], *, root: int = 0) -> list[Any]:
+        if len(chunks) != self.size:
+            raise InvalidArgument("scatter needs one chunk per rank")
+        out: list[Any] = [None] * self.size
+        out[root] = chunks[root]
+        for r in range(self.size):
+            if r == root:
+                continue
+            self.send(chunks[r], src=root, dest=r)
+            out[r] = self.recv(source=root, dest=r)
+        return out
+
+    def gather(self, per_rank_values: list[Any], *, root: int = 0) -> list[Any]:
+        if len(per_rank_values) != self.size:
+            raise InvalidArgument("gather needs one value per rank")
+        out: list[Any] = [None] * self.size
+        out[root] = per_rank_values[root]
+        for r in range(self.size):
+            if r == root:
+                continue
+            self.send(per_rank_values[r], src=r, dest=root)
+            out[r] = self.recv(source=r, dest=root)
+        return out
+
+    def allgather(self, per_rank_values: list[Any]) -> list[Any]:
+        gathered = self.gather(per_rank_values, root=0)
+        self.bcast(gathered, root=0)
+        return gathered
+
+    def allreduce(self, per_rank_arrays: list[np.ndarray],
+                  op: Callable[[np.ndarray, np.ndarray], np.ndarray] = np.add
+                  ) -> np.ndarray:
+        """Reduce numpy arrays across ranks then broadcast the result."""
+        gathered = self.gather(per_rank_arrays, root=0)
+        acc = gathered[0].copy()
+        for a in gathered[1:]:
+            acc = op(acc, a)
+        self.bcast(acc, root=0)
+        return acc
+
+    def barrier(self) -> None:
+        """Token ring: rank 0 -> 1 -> ... -> n-1 -> 0."""
+        if self.size == 1:
+            return
+        for r in range(self.size):
+            nxt = (r + 1) % self.size
+            self.send(b"token", src=r, dest=nxt)
+            self.recv(source=r, dest=nxt)
+
+    def close(self) -> None:
+        for conn in self._channels.values():
+            conn.close()
+        for rank in self.ranks:
+            rank.node.net.close(rank.listener)

@@ -1,0 +1,117 @@
+"""Unit tests: image persistence and the stale-container scanner."""
+
+import pytest
+
+from repro import LLSC
+from repro.containers import (
+    ImageFile,
+    build_image,
+    hygiene_report,
+    load_image,
+    save_image,
+    scan_stale_containers,
+)
+from repro.core import standard_cluster
+from repro.kernel.errors import AccessDenied, InvalidArgument
+
+DAY = 86_400.0
+
+
+@pytest.fixture
+def cluster():
+    return standard_cluster(LLSC)
+
+
+def make_sif(cluster, username, path, at):
+    """User saves an image at virtual time *at*."""
+    cluster.run(until=at)
+    session = cluster.login(username)
+    ws = cluster.add_workstation(username)
+    image = build_image(ws, session.user, f"env-{username}",
+                        [ImageFile("/opt", is_dir=True)])
+    save_image(session.node, session.creds, path, image)
+    return session, image
+
+
+class TestPersistence:
+    def test_save_load_roundtrip(self, cluster):
+        session, image = make_sif(cluster, "alice",
+                                  "/home/alice/env.sif", at=1.0)
+        loaded = load_image(session.node, session.creds,
+                            "/home/alice/env.sif")
+        assert loaded == image
+
+    def test_requires_sif_suffix(self, cluster):
+        session, _ = make_sif(cluster, "alice", "/home/alice/a.sif", at=1.0)
+        ws = cluster.workstations["alice-laptop"]
+        image = build_image(ws, session.user, "x", [])
+        with pytest.raises(InvalidArgument):
+            save_image(session.node, session.creds,
+                       "/home/alice/notanimage", image)
+
+    def test_non_image_file_rejected(self, cluster):
+        session = cluster.login("alice")
+        session.sys.create("/home/alice/fake.sif", mode=0o640,
+                           data=b"not a pickle of an image"[:8])
+        with pytest.raises(Exception):
+            load_image(session.node, session.creds, "/home/alice/fake.sif")
+
+    def test_sif_respects_dac(self, cluster):
+        """Saved images are 0640 in the owner's private group: strangers
+        cannot load them (the sharing the paper complains about requires a
+        project group, like any other data)."""
+        make_sif(cluster, "alice", "/home/alice/env.sif", at=1.0)
+        bob = cluster.login("bob")
+        with pytest.raises(AccessDenied):
+            load_image(bob.node, bob.creds, "/home/alice/env.sif")
+
+
+class TestScanner:
+    def test_old_unused_images_flagged(self, cluster):
+        make_sif(cluster, "alice", "/home/alice/old.sif", at=0.0)
+        make_sif(cluster, "bob", "/home/bob/new.sif", at=300 * DAY)
+        cluster.run(until=400 * DAY)
+        node = cluster.login_nodes[0]
+        stale = scan_stale_containers(node, now=400 * DAY,
+                                      stale_after=180 * DAY)
+        assert [s.path for s in stale] == ["/home/alice/old.sif"]
+        assert stale[0].idle_time == pytest.approx(400 * DAY)
+
+    def test_recent_use_resets_clock(self, cluster):
+        session, _ = make_sif(cluster, "alice", "/home/alice/env.sif",
+                              at=0.0)
+        cluster.run(until=350 * DAY)
+        load_image(session.node, session.creds, "/home/alice/env.sif")
+        cluster.run(until=400 * DAY)
+        stale = scan_stale_containers(cluster.login_nodes[0],
+                                      now=400 * DAY, stale_after=180 * DAY)
+        assert stale == []
+
+    def test_scan_covers_scratch(self, cluster):
+        sess = cluster.login("carol")
+        ws = cluster.add_workstation("carol")
+        image = build_image(ws, sess.user, "x", [])
+        save_image(sess.node, sess.creds, "/scratch/shared-env.sif", image)
+        cluster.run(until=10 * DAY)
+        stale = scan_stale_containers(cluster.login_nodes[0], now=10 * DAY,
+                                      stale_after=5 * DAY)
+        assert any(s.path == "/scratch/shared-env.sif" for s in stale)
+
+    def test_report_aggregates(self, cluster):
+        make_sif(cluster, "alice", "/home/alice/a.sif", at=0.0)
+        make_sif(cluster, "alice", "/home/alice/b.sif", at=0.0)
+        make_sif(cluster, "bob", "/home/bob/c.sif", at=0.0)
+        cluster.run(until=100 * DAY)
+        stale = scan_stale_containers(cluster.login_nodes[0],
+                                      now=100 * DAY, stale_after=30 * DAY)
+        rep = hygiene_report(stale)
+        assert rep["stale_count"] == 3
+        alice_uid = cluster.user("alice").uid
+        assert rep["by_owner"][alice_uid] == 2
+        assert rep["reclaimable_bytes"] > 0
+        assert rep["oldest"] is not None
+
+    def test_empty_report(self):
+        assert hygiene_report([]) == {
+            "stale_count": 0, "reclaimable_bytes": 0, "by_owner": {},
+            "oldest": None}

@@ -1,0 +1,100 @@
+"""Unit + integration tests: the configuration-compliance checker."""
+
+import pytest
+
+from repro import BASELINE, Cluster, LLSC
+from repro.core import standard_cluster
+from repro.core.compliance import check_compliance
+from repro.kernel import ProcMountOptions, ROOT_CREDS
+from repro.net.firewall import Firewall
+
+
+class TestCleanClusters:
+    def test_llsc_cluster_is_compliant(self):
+        report = check_compliance(standard_cluster(LLSC))
+        assert report.compliant, [str(f) for f in report.findings]
+        assert report.checks_run > 30
+
+    def test_baseline_cluster_is_compliant_with_itself(self):
+        report = check_compliance(standard_cluster(BASELINE))
+        assert report.compliant, [str(f) for f in report.findings]
+
+    def test_baseline_fails_llsc_posture(self):
+        """Auditing a stock cluster against the LLSC config enumerates the
+        whole gap — the deployment checklist, effectively."""
+        report = check_compliance(standard_cluster(BASELINE), config=LLSC)
+        controls = set(report.by_control())
+        assert "proc.hidepid" in controls
+        assert "kernel.file-permission-handler" in controls
+        assert "net.ubf-ruleset" in controls
+        assert "sched.node-policy" in controls
+        assert "portal.require-auth" in controls
+        assert any(c.startswith("home.") for c in controls)
+
+
+class TestDriftDetection:
+    def test_one_node_missing_hidepid(self):
+        cluster = standard_cluster(LLSC)
+        rogue = cluster.compute_nodes[1].node
+        rogue.set_proc_options(ProcMountOptions(hidepid=0))
+        report = check_compliance(cluster)
+        assert not report.compliant
+        assert [f.node for f in report.findings
+                if f.control == "proc.hidepid"] == [rogue.name]
+
+    def test_home_dir_chmod_detected(self):
+        cluster = standard_cluster(LLSC)
+        v = cluster.login_nodes[0].vfs
+        v.chmod("/home/alice", ROOT_CREDS, 0o777)  # triage leftovers
+        report = check_compliance(cluster)
+        assert any(f.control == "home.mode:alice"
+                   and f.observed == "0o777" for f in report.findings)
+
+    def test_unbound_nfqueue_flagged(self):
+        cluster = standard_cluster(LLSC)
+        stack = cluster.compute_nodes[0].node.net
+        stack.firewall._nfqueue = None  # daemon crashed
+        report = check_compliance(cluster)
+        assert any(f.control == "net.ubf-daemon" for f in report.findings)
+
+    def test_firewall_flush_flagged(self):
+        cluster = standard_cluster(LLSC)
+        node = cluster.compute_nodes[0].node
+        node.net.firewall.rules = []  # iptables -F
+        report = check_compliance(cluster)
+        assert any(f.control == "net.ubf-ruleset"
+                   and f.node == node.name for f in report.findings)
+
+    def test_gpu_devmode_drift_flagged(self):
+        cluster = standard_cluster(LLSC)
+        cn = cluster.compute_nodes[0]
+        cn.node.vfs.chmod("/dev/nvidia0", ROOT_CREDS, 0o666)
+        report = check_compliance(cluster)
+        assert any(f.control == "gpu.devmode:nvidia0"
+                   for f in report.findings)
+
+    def test_gpu_assigned_mode_is_expected_during_job(self):
+        """Live allocations are NOT drift: an assigned GPU is supposed to
+        be 0660/private-group while the job runs."""
+        cluster = standard_cluster(LLSC)
+        job = cluster.submit("alice", gpus_per_task=1, duration=100.0)
+        cluster.run(until=1.0)
+        report = check_compliance(cluster)
+        assert report.compliant, [str(f) for f in report.findings]
+
+    def test_pam_stack_tamper_flagged(self):
+        from repro.kernel.pam import PamStack, PamUnix
+        cluster = standard_cluster(LLSC)
+        cluster.compute_nodes[0].node.pam = PamStack([PamUnix()])
+        report = check_compliance(cluster)
+        controls = {f.control for f in report.findings}
+        assert "pam.pam_slurm" in controls
+        assert "pam.pam_smask" in controls
+
+    def test_findings_name_the_node(self):
+        cluster = standard_cluster(LLSC)
+        cluster.compute_nodes[2].node.set_proc_options(
+            ProcMountOptions(hidepid=1))
+        report = check_compliance(cluster)
+        assert report.findings[0].node == cluster.compute_nodes[2].name
+        assert "hidepid" in str(report.findings[0])

@@ -1,0 +1,71 @@
+"""Unit tests: the Spectre/Meltdown-style overhead model (E15)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    MITIGATION_EXTRA_NS,
+    SYSCALL_NS,
+    WorkloadProfile,
+    llsc_control_costs,
+    make_profiles,
+    mitigated_runtime_ns,
+    slowdown,
+    sweep_syscall_fraction,
+)
+
+
+class TestSlowdownModel:
+    def test_compute_bound_near_zero(self):
+        p = WorkloadProfile("numpy", compute_ns=1e9, syscalls=100)
+        assert slowdown(p) < 0.001
+
+    def test_syscall_bound_in_published_band(self):
+        """The paper's cited measurement: 15-40% for affected workloads.
+        Our syscall-heavy profiles must land in (or near) that band."""
+        heavy = [p for p in make_profiles() if p.syscall_fraction > 0.05]
+        assert len(heavy) >= 3, "profile mix must include syscall-heavy work"
+        for p in heavy:
+            s = slowdown(p)
+            assert 0.10 < s < 0.55, f"{p.name}: {s:.2f}"
+        in_band = [p for p in heavy if 0.15 <= slowdown(p) <= 0.40]
+        assert len(in_band) >= 2, "most affected workloads in 15-40% band"
+
+    def test_slowdown_monotone_in_syscall_fraction(self):
+        profiles = sorted(make_profiles(), key=lambda p: p.syscall_fraction)
+        slows = [slowdown(p) for p in profiles]
+        assert slows == sorted(slows)
+
+    def test_zero_extra_zero_slowdown(self):
+        for p in make_profiles():
+            assert slowdown(p, extra_ns=0.0) == pytest.approx(0.0)
+
+    def test_mitigated_runtime_exceeds_base(self):
+        for p in make_profiles():
+            assert mitigated_runtime_ns(p) >= p.base_runtime_ns
+
+    def test_sweep_is_linear_and_bounded(self):
+        frac, slow = sweep_syscall_fraction(100)
+        assert frac.shape == slow.shape == (100,)
+        assert slow[0] == 0.0
+        # linearity: second differences vanish
+        assert np.allclose(np.diff(slow, 2), 0.0)
+        assert slow[-1] == pytest.approx(0.95 * MITIGATION_EXTRA_NS / SYSCALL_NS)
+
+    def test_syscall_fraction_bounds(self):
+        for p in make_profiles():
+            assert 0.0 < p.syscall_fraction < 1.0
+
+
+class TestLLSCControlCosts:
+    def test_no_control_on_hot_path(self):
+        """The design principle: none of the Section-IV controls pays per
+        operation on the data path."""
+        assert all(not c.per_operation_hot_path
+                   for c in llsc_control_costs())
+
+    def test_all_sections_covered(self):
+        names = {c.control for c in llsc_control_costs()}
+        for expect in ("hidepid=2", "PrivateData", "pam_slurm", "smask",
+                       "UBF", "GPU epilog scrub", "portal auth"):
+            assert expect in names

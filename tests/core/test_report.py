@@ -1,0 +1,66 @@
+"""Unit tests: the Markdown posture-report generator."""
+
+import pytest
+
+from repro import BASELINE, LLSC, run_battery
+from repro.core import check_compliance, posture_report, standard_cluster
+from repro.kernel import ProcMountOptions
+from repro.monitor import instrument_cluster
+
+
+@pytest.fixture(scope="module")
+def llsc_audit():
+    return run_battery(LLSC)
+
+
+class TestPostureReport:
+    def test_minimal_report(self):
+        cluster = standard_cluster(LLSC)
+        doc = posture_report(cluster)
+        assert doc.startswith("# Security posture — configuration 'LLSC'")
+        assert "## Deployed controls" in doc
+        assert "| hidepid | 2 |" in doc
+        assert "## Fleet" in doc
+        assert "c1, c2, c3, c4" in doc
+        # optional sections absent when not provided
+        assert "## Adversarial audit" not in doc
+        assert "## Configuration compliance" not in doc
+
+    def test_clean_compliance_section(self):
+        cluster = standard_cluster(LLSC)
+        doc = posture_report(cluster,
+                             compliance=check_compliance(cluster))
+        assert "checks passed; no drift detected" in doc
+
+    def test_drifted_compliance_section(self):
+        cluster = standard_cluster(LLSC)
+        cluster.compute_nodes[0].node.set_proc_options(
+            ProcMountOptions(hidepid=0))
+        doc = posture_report(cluster,
+                             compliance=check_compliance(cluster))
+        assert "finding(s) across" in doc
+        assert "| c1 | proc.hidepid | 2 | 0 |" in doc
+
+    def test_audit_section(self, llsc_audit):
+        cluster = standard_cluster(LLSC)
+        doc = posture_report(cluster, audit=llsc_audit)
+        assert "3 of 32 cross-user probes" in doc
+        assert "0 unexpected, 3 documented residuals" in doc
+        assert "tmp-filename-enum" in doc
+        assert "Sanctioned project-group sharing: functional." in doc
+
+    def test_telemetry_section(self):
+        cluster = standard_cluster(LLSC)
+        log = instrument_cluster(cluster)
+        doc = posture_report(cluster)
+        assert "No denial events recorded." in doc
+        from repro.monitor import EventKind
+        log.emit(1.0, EventKind.NET_DENY, 1001, "c1:5000", "x")
+        doc = posture_report(cluster)
+        assert "| net-deny | 1 |" in doc
+
+    def test_baseline_report_shows_open_posture(self):
+        cluster = standard_cluster(BASELINE)
+        doc = posture_report(cluster)
+        assert "configuration 'BASELINE'" in doc
+        assert "| hidepid | 0 |" in doc

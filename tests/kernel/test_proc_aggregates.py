@@ -1,0 +1,40 @@
+"""Unit tests: /proc aggregate files (loadavg, meminfo) under hidepid."""
+
+from repro.kernel import Credentials, ProcMountOptions, ProcFS, ProcessTable
+
+from tests.conftest import creds_of
+
+
+class TestAggregates:
+    def _table(self, userdb):
+        t = ProcessTable()
+        t.spawn(creds_of(userdb, "alice"), ["a"], rss_mb=100)
+        t.spawn(creds_of(userdb, "alice"), ["b"], rss_mb=50)
+        t.spawn(creds_of(userdb, "bob"), ["c"], rss_mb=30)
+        return t
+
+    def test_loadavg_counts_user_processes(self, userdb):
+        view = ProcFS(self._table(userdb), ProcMountOptions(hidepid=2))
+        bob = creds_of(userdb, "bob")
+        load = view.loadavg(bob)
+        assert load["running"] == 3  # all user procs, not just bob's
+        assert load["total"] == 4    # + init
+
+    def test_meminfo_aggregates_all_rss(self, userdb):
+        view = ProcFS(self._table(userdb), ProcMountOptions(hidepid=2))
+        bob = creds_of(userdb, "bob")
+        assert view.meminfo(bob)["used_mb"] == 100 + 50 + 30 + 10  # + init
+
+    def test_aggregates_identical_across_hidepid(self, userdb):
+        """hidepid hides attribution, not the aggregate — the seepid
+        rationale in one assertion."""
+        t = self._table(userdb)
+        bob = creds_of(userdb, "bob")
+        results = [
+            (ProcFS(t, ProcMountOptions(hidepid=h)).loadavg(bob),
+             ProcFS(t, ProcMountOptions(hidepid=h)).meminfo(bob))
+            for h in (0, 1, 2)
+        ]
+        assert results[0] == results[1] == results[2]
+        # while per-process attribution collapses
+        assert len(ProcFS(t, ProcMountOptions(hidepid=2)).ps(bob)) == 1

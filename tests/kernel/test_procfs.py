@@ -1,0 +1,179 @@
+"""Unit tests: process table, /proc hidepid semantics, signals."""
+
+import pytest
+
+from repro.kernel import ProcMountOptions, ProcFS, ProcessTable, SIGKILL
+from repro.kernel.errors import AccessDenied, NoSuchProcess, PermissionError_
+
+from tests.conftest import creds_of
+
+
+@pytest.fixture
+def table(userdb):
+    t = ProcessTable("n1")
+    t.spawn(creds_of(userdb, "alice"), ["python", "train.py", "--lr", "0.1"])
+    t.spawn(creds_of(userdb, "bob"),
+            ["mysql", "--password=hunter2"])  # CVE-2020-27746-style argv secret
+    t.spawn(creds_of(userdb, "root"), ["slurmd"], daemon=True)
+    return t
+
+
+class TestProcessTable:
+    def test_init_always_present(self, table):
+        assert 1 in table.pids()
+        assert table.get(1).comm == "init"
+
+    def test_spawn_assigns_increasing_pids(self, table, userdb):
+        a = table.spawn(creds_of(userdb, "alice"), ["a"])
+        b = table.spawn(creds_of(userdb, "alice"), ["b"])
+        assert b.pid > a.pid
+
+    def test_comm_truncated_to_15_chars(self, table, userdb):
+        p = table.spawn(creds_of(userdb, "alice"),
+                        ["/usr/bin/averyveryverylongname"])
+        assert p.comm == "averyveryverylo"
+
+    def test_kill_own_process(self, table, userdb):
+        alice = creds_of(userdb, "alice")
+        p = table.spawn(alice, ["x"])
+        table.kill(alice, p.pid, SIGKILL)
+        assert not table.get(p.pid).alive
+
+    def test_kill_foreign_process_denied(self, table, userdb):
+        bob_proc = next(p for p in table.processes()
+                        if p.creds.uid == creds_of(userdb, "bob").uid)
+        with pytest.raises(PermissionError_):
+            table.kill(creds_of(userdb, "alice"), bob_proc.pid)
+        assert table.get(bob_proc.pid).alive
+
+    def test_root_kills_anyone(self, table, userdb):
+        p = next(p for p in table.processes() if p.creds.uid != 0)
+        table.kill(creds_of(userdb, "root"), p.pid, SIGKILL)
+        assert not table.get(p.pid).alive
+
+    def test_kill_dead_process_raises(self, table, userdb):
+        alice = creds_of(userdb, "alice")
+        p = table.spawn(alice, ["x"])
+        table.kill(alice, p.pid, SIGKILL)
+        with pytest.raises(NoSuchProcess):
+            table.kill(alice, p.pid, SIGKILL)
+
+    def test_kill_job_reaps_all_job_processes(self, table, userdb):
+        alice = creds_of(userdb, "alice")
+        p1 = table.spawn(alice, ["t1"], job_id=7)
+        p2 = table.spawn(alice, ["t2"], job_id=7)
+        other = table.spawn(alice, ["t3"], job_id=8)
+        killed = table.kill_job(7)
+        assert set(killed) == {p1.pid, p2.pid}
+        assert table.get(other.pid).alive
+
+    def test_total_rss(self, userdb):
+        t = ProcessTable()
+        t.spawn(creds_of(userdb, "alice"), ["a"], rss_mb=100)
+        t.spawn(creds_of(userdb, "alice"), ["b"], rss_mb=50)
+        assert t.total_rss_mb() == 160  # + init's 10
+
+
+def fs(table, hidepid, gid=None):
+    return ProcFS(table, ProcMountOptions(hidepid=hidepid, gid=gid))
+
+
+class TestHidepid0:
+    def test_everyone_sees_everything(self, table, userdb):
+        view = fs(table, 0)
+        alice = creds_of(userdb, "alice")
+        assert view.list_pids(alice) == table.pids()
+        bob_pid = next(p.pid for p in table.processes()
+                       if "mysql" in p.cmdline)
+        assert "hunter2" in view.read_cmdline(alice, bob_pid)
+
+    def test_visible_users_includes_all(self, table, userdb):
+        view = fs(table, 0)
+        alice = creds_of(userdb, "alice")
+        assert len(view.visible_users(alice)) >= 3
+
+
+class TestHidepid1:
+    def test_foreign_pids_listed_but_unreadable(self, table, userdb):
+        view = fs(table, 1)
+        alice = creds_of(userdb, "alice")
+        bob_pid = next(p.pid for p in table.processes()
+                       if "mysql" in p.cmdline)
+        assert bob_pid in view.list_pids(alice)  # dir visible
+        with pytest.raises(AccessDenied):
+            view.read_cmdline(alice, bob_pid)  # contents not
+
+    def test_own_process_readable(self, table, userdb):
+        view = fs(table, 1)
+        alice = creds_of(userdb, "alice")
+        own = next(p.pid for p in table.processes()
+                   if p.creds.uid == alice.uid)
+        assert "train.py" in view.read_cmdline(alice, own)
+
+
+class TestHidepid2:
+    def test_foreign_pids_invisible(self, table, userdb):
+        view = fs(table, 2)
+        alice = creds_of(userdb, "alice")
+        pids = view.list_pids(alice)
+        assert all(table.get(p).creds.uid == alice.uid for p in pids)
+
+    def test_foreign_pid_read_is_esrch_not_eacces(self, table, userdb):
+        """hidepid=2 makes other pids indistinguishable from nonexistent."""
+        view = fs(table, 2)
+        alice = creds_of(userdb, "alice")
+        bob_pid = next(p.pid for p in table.processes()
+                       if "mysql" in p.cmdline)
+        with pytest.raises(NoSuchProcess):
+            view.read_cmdline(alice, bob_pid)
+
+    def test_daemons_hidden_too(self, table, userdb):
+        view = fs(table, 2)
+        alice = creds_of(userdb, "alice")
+        assert all(view.read_status(alice, p)["Uid"] == alice.uid
+                   for p in view.list_pids(alice))
+
+    def test_root_sees_everything(self, table, userdb):
+        view = fs(table, 2)
+        assert view.list_pids(creds_of(userdb, "root")) == table.pids()
+
+    def test_cve_2020_27746_mitigated(self, table, userdb):
+        """The argv secret is unreachable by other users under hidepid=2."""
+        view = fs(table, 2)
+        alice = creds_of(userdb, "alice")
+        leaked = [row.cmdline for row in view.ps(alice)]
+        assert not any("hunter2" in c for c in leaked)
+        with pytest.raises(NoSuchProcess):
+            bob_pid = next(p.pid for p in table.processes()
+                           if "mysql" in p.cmdline)
+            view.read_cmdline(alice, bob_pid)
+
+
+class TestGidExemption:
+    def test_exempt_group_sees_all(self, table, userdb):
+        sam = userdb.user("sam")
+        grp = userdb.add_system_group("seepid", members={sam.uid})
+        view = fs(table, 2, gid=grp.gid)
+        sam_creds = userdb.credentials_for(sam)
+        assert view.list_pids(sam_creds) == table.pids()
+
+    def test_non_member_staff_still_blind(self, table, userdb):
+        grp = userdb.add_system_group("seepid", members=set())
+        view = fs(table, 2, gid=grp.gid)
+        alice = creds_of(userdb, "alice")
+        assert all(table.get(p).creds.uid == alice.uid
+                   for p in view.list_pids(alice))
+
+    def test_proc_exempt_flag_works(self, table, userdb):
+        """seepid sets proc_exempt on the session credentials."""
+        grp = userdb.add_system_group("seepid", members=set())
+        view = fs(table, 2, gid=grp.gid)
+        from dataclasses import replace
+        alice = replace(creds_of(userdb, "alice"), proc_exempt=True)
+        assert view.list_pids(alice) == table.pids()
+
+
+class TestBadOptions:
+    def test_invalid_hidepid_rejected(self):
+        with pytest.raises(ValueError):
+            ProcMountOptions(hidepid=3)

@@ -1,0 +1,98 @@
+"""Edge-case coverage: walk, access, perm_string, node roles, errors."""
+
+import pytest
+
+from repro.kernel import (
+    Credentials,
+    FileKind,
+    KernelError,
+    LinuxNode,
+    NodeRole,
+    NodeSpec,
+    R_OK,
+    ROOT_CREDS,
+    VFS,
+    W_OK,
+)
+from repro.kernel.errors import NoSuchEntity
+from repro.kernel.vfs import Inode
+
+from tests.conftest import creds_of
+
+
+class TestWalk:
+    def test_walk_descends_tree(self, userdb):
+        v = VFS()
+        alice = creds_of(userdb, "alice")
+        v.mkdir("/w", ROOT_CREDS, mode=0o777)
+        v.mkdir("/w/a", alice, mode=0o755)
+        v.mkdir("/w/a/b", alice, mode=0o755)
+        v.create("/w/a/b/f", alice, mode=0o644)
+        seen = dict(v.walk("/w", alice))
+        assert set(seen) == {"/w", "/w/a", "/w/a/b"}
+        assert seen["/w/a/b"] == ["f"]
+
+    def test_walk_skips_unreadable_subtrees(self, userdb):
+        v = VFS()
+        alice = creds_of(userdb, "alice")
+        bob = creds_of(userdb, "bob")
+        v.mkdir("/w", ROOT_CREDS, mode=0o777)
+        v.mkdir("/w/open", alice, mode=0o755)
+        v.mkdir("/w/closed", alice, mode=0o700)
+        v.create("/w/closed/hidden", alice)
+        seen = dict(v.walk("/w", bob))
+        assert "/w/open" in seen
+        assert "/w/closed" not in seen
+
+    def test_walk_does_not_loop_on_symlinks(self, userdb):
+        v = VFS()
+        alice = creds_of(userdb, "alice")
+        v.mkdir("/w", ROOT_CREDS, mode=0o777)
+        v.mkdir("/w/d", alice, mode=0o755)
+        v.symlink("/w", "/w/d/up", alice)
+        assert len(list(v.walk("/w", alice))) == 2  # terminates
+
+
+class TestAccessHelper:
+    def test_access_true_false_and_missing(self, userdb):
+        v = VFS()
+        alice = creds_of(userdb, "alice")
+        bob = creds_of(userdb, "bob")
+        v.mkdir("/w", ROOT_CREDS, mode=0o777)
+        v.create("/w/f", alice, mode=0o640)
+        assert v.access("/w/f", alice, R_OK | W_OK)
+        assert not v.access("/w/f", bob, R_OK)
+        assert not v.access("/w/missing", alice, R_OK)
+
+
+class TestPermString:
+    @pytest.mark.parametrize("mode,want", [
+        (0o755, "rwxr-xr-x"),
+        (0o640, "rw-r-----"),
+        (0o1777, "rwxrwxrwt"),
+        (0o1666, "rw-rw-rwT"),
+        (0o000, "---------"),
+    ])
+    def test_rendering(self, mode, want):
+        inode = Inode(ino=1, kind=FileKind.FILE, uid=0, gid=0, mode=mode)
+        assert inode.perm_string() == want
+
+
+class TestNodeBasics:
+    def test_roles_and_spec(self, userdb):
+        n = LinuxNode("gpu1", userdb, role=NodeRole.COMPUTE,
+                      spec=NodeSpec(cores=128, mem_mb=10 ** 6, gpus=8))
+        assert n.spec.gpus == 8
+        assert n.role is NodeRole.COMPUTE
+        assert "gpu1" in repr(n)
+
+    def test_kernel_error_str_contains_errname(self):
+        err = NoSuchEntity("/x")
+        assert "ENOENT" in str(err)
+        assert err.errno == 2
+        assert isinstance(err, KernelError)
+
+    def test_mount_listing(self, userdb):
+        n = LinuxNode("n", userdb)
+        paths = [m.path for m in n.vfs.mounts()]
+        assert paths == ["/", "/dev", "/tmp"]

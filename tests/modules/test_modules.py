@@ -1,0 +1,185 @@
+"""Unit + integration tests: environment modules (parser, load/unload,
+DAC-governed visibility, staff publishing via smask_relax)."""
+
+import pytest
+
+from repro import LLSC, smask_relax
+from repro.core import standard_cluster
+from repro.kernel.errors import (
+    Exists,
+    InvalidArgument,
+    NoSuchEntity,
+)
+from repro.modules import (
+    ModuleFile,
+    ModuleSystem,
+    parse_modulefile,
+    publish_module,
+    render_modulefile,
+)
+
+ANACONDA = """#%Module
+## anaconda 2024a - site python stack
+setenv        CONDA_ROOT /software/anaconda/2024a
+prepend-path  PATH /software/anaconda/2024a/bin
+prepend-path  LD_LIBRARY_PATH /software/anaconda/2024a/lib
+conflict      mamba
+"""
+
+
+class TestParser:
+    def test_parse_roundtrip(self):
+        mod = parse_modulefile("anaconda", "2024a", ANACONDA)
+        assert mod.full_name == "anaconda/2024a"
+        assert mod.setenv == {"CONDA_ROOT": "/software/anaconda/2024a"}
+        assert mod.prepend_path["PATH"] == ("/software/anaconda/2024a/bin",)
+        assert mod.conflicts == {"mamba"}
+        assert "site python stack" in mod.description
+        again = parse_modulefile("anaconda", "2024a",
+                                 render_modulefile(mod))
+        assert again == mod
+
+    def test_missing_magic(self):
+        with pytest.raises(InvalidArgument):
+            parse_modulefile("x", "1", "setenv A B\n")
+
+    def test_unknown_directive(self):
+        with pytest.raises(InvalidArgument):
+            parse_modulefile("x", "1", "#%Module\nappend-path PATH /x\n")
+
+    def test_bad_arity(self):
+        with pytest.raises(InvalidArgument):
+            parse_modulefile("x", "1", "#%Module\nsetenv ONLYVAR\n")
+
+    def test_comments_and_blanks_ignored(self):
+        mod = parse_modulefile("x", "1",
+                               "#%Module\n\n# a comment\nsetenv A B\n")
+        assert mod.setenv == {"A": "B"}
+
+
+@pytest.fixture
+def modcluster():
+    cluster = standard_cluster(LLSC)
+    sam = smask_relax(cluster, cluster.login("sam"))
+    node = sam.node
+    for name, version, path in (("anaconda", "2023b", "/sw/ana/2023b"),
+                                ("anaconda", "2024a", "/sw/ana/2024a"),
+                                ("mamba", "1.5", "/sw/mamba/1.5")):
+        mod = ModuleFile(name=name, version=version,
+                         prepend_path={"PATH": (f"{path}/bin",)},
+                         setenv={f"{name.upper()}_ROOT": path},
+                         conflicts=frozenset({"mamba"})
+                         if name == "anaconda" else frozenset({"anaconda"}))
+        publish_module(node, sam.creds, "/scratch/modulefiles", mod)
+    return cluster
+
+
+class TestLoadUnload:
+    def test_avail_lists_published(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        assert ms.avail(alice.process) == [
+            "anaconda/2023b", "anaconda/2024a", "mamba/1.5"]
+
+    def test_load_sets_environment(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        ms.load(alice.process, "anaconda/2024a")
+        env = alice.process.environ
+        assert env["ANACONDA_ROOT"] == "/sw/ana/2024a"
+        assert env["PATH"].startswith("/sw/ana/2024a/bin")
+        assert ms.loaded(alice.process) == ["anaconda/2024a"]
+
+    def test_unversioned_load_picks_highest(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        mod = ms.load(alice.process, "anaconda")
+        assert mod.version == "2024a"
+
+    def test_double_load_same_module_rejected(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        ms.load(alice.process, "anaconda/2024a")
+        with pytest.raises(Exists):
+            ms.load(alice.process, "anaconda/2023b")
+
+    def test_conflict_rejected_both_directions(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        ms.load(alice.process, "anaconda/2024a")
+        with pytest.raises(InvalidArgument):
+            ms.load(alice.process, "mamba/1.5")
+
+    def test_unload_restores_environment(self, modcluster):
+        alice = modcluster.login("alice")
+        alice.process.environ["PATH"] = "/usr/bin"
+        ms = ModuleSystem(alice.node)
+        ms.load(alice.process, "anaconda/2024a")
+        ms.unload(alice.process, "anaconda")
+        env = alice.process.environ
+        assert env["PATH"] == "/usr/bin"
+        assert "ANACONDA_ROOT" not in env
+        assert ms.loaded(alice.process) == []
+
+    def test_unload_not_loaded(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        with pytest.raises(NoSuchEntity):
+            ms.unload(alice.process, "anaconda")
+
+    def test_load_then_load_other_tool(self, modcluster):
+        alice = modcluster.login("alice")
+        ms = ModuleSystem(alice.node)
+        sam = smask_relax(modcluster, modcluster.login("sam"))
+        publish_module(sam.node, sam.creds, "/scratch/modulefiles",
+                       ModuleFile(name="gcc", version="13.2",
+                                  prepend_path={"PATH": ("/sw/gcc/bin",)}))
+        ms.load(alice.process, "anaconda/2024a")
+        ms.load(alice.process, "gcc")
+        assert alice.process.environ["PATH"].split(":")[:2] == [
+            "/sw/gcc/bin", "/sw/ana/2024a/bin"]
+
+
+class TestDacVisibility:
+    def test_unpublished_module_invisible_to_strangers(self, modcluster):
+        """A module in carol's project dir is visible to dave (member via
+        setgid group dir) but not to alice."""
+        carol = modcluster.login("carol").sg("fusion")
+        publish_module(carol.node, carol.creds,
+                       "/home/proj/fusion/modulefiles",
+                       ModuleFile(name="plasma-tools", version="0.1",
+                                  prepend_path={"PATH": ("/proj/bin",)}),
+                       mode=0o640)
+        ms = ModuleSystem(carol.node,
+                          modulepath=("/scratch/modulefiles",
+                                      "/home/proj/fusion/modulefiles"))
+        dave = modcluster.login("dave")
+        assert "plasma-tools/0.1" in ms.avail(dave.process)
+        alice = modcluster.login("alice")
+        assert "plasma-tools/0.1" not in ms.avail(alice.process)
+        with pytest.raises(NoSuchEntity):
+            ms.load(alice.process, "plasma-tools")
+
+    def test_plain_user_cannot_publish_world_readable(self, modcluster):
+        """Without smask_relax, a user's 'published' module carries no
+        world bits, so other users never see it (the smask regime extends
+        to software publishing exactly as Section IV-C intends)."""
+        alice = modcluster.login("alice")
+        alice.sys.mkdir("/home/alice/modulefiles", mode=0o755)
+        publish_module(alice.node, alice.creds, "/home/alice/modulefiles",
+                       ModuleFile(name="mytool", version="0.0.1"))
+        ms = ModuleSystem(alice.node,
+                          modulepath=("/home/alice/modulefiles",))
+        assert ms.avail(alice.process) == ["mytool/0.0.1"]
+        bob = modcluster.login("bob")
+        assert ms.avail(bob.process) == []
+
+    def test_module_survives_across_nodes(self, modcluster):
+        """Modulefiles live on the shared FS: published once, loadable on
+        every node."""
+        job = modcluster.submit("alice", duration=100.0)
+        modcluster.run(until=1.0)
+        shell = modcluster.job_session(job)
+        ms = ModuleSystem(shell.node)
+        ms.load(shell.process, "anaconda/2024a")
+        assert shell.process.environ["ANACONDA_ROOT"] == "/sw/ana/2024a"

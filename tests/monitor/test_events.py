@@ -1,0 +1,175 @@
+"""Unit + integration tests: security event log, wiring, probe detection."""
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import AccessDenied, KernelError, TimedOut
+from repro.monitor import (
+    EventKind,
+    SecurityEventLog,
+    audited_seepid,
+    audited_session,
+    detect_probe_patterns,
+    instrument_cluster,
+)
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster.build(LLSC, n_compute=3, users=("alice", "bob", "mallory"),
+                      staff=("sam",))
+    instrument_cluster(c)
+    return c
+
+
+class TestLogBasics:
+    def test_emit_and_query(self):
+        log = SecurityEventLog()
+        log.emit(1.0, EventKind.FS_DENY, 1000, "/home/alice/x", "EACCES")
+        log.emit(2.0, EventKind.NET_DENY, 1001, "c1:5000", "cross-user")
+        assert len(log.by_subject(1000)) == 1
+        assert len(log.by_kind(EventKind.NET_DENY)) == 1
+        assert log.counts() == {EventKind.FS_DENY: 1, EventKind.NET_DENY: 1}
+        assert len(log.window(1.5, 3.0)) == 1
+
+
+class TestWiring:
+    def test_ubf_denial_recorded(self, cluster):
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        shell = cluster.job_session(job)
+        shell.node.net.listen(shell.node.net.bind(shell.process, 5000))
+        bob = cluster.login("bob")
+        with pytest.raises(TimedOut):
+            bob.socket().connect(shell.node.name, 5000)
+        denials = cluster.security_log.by_kind(EventKind.NET_DENY)
+        assert len(denials) == 1
+        assert denials[0].subject_uid == bob.user.uid
+        assert denials[0].target.endswith(":5000")
+
+    def test_allowed_connections_not_logged(self, cluster):
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        shell = cluster.job_session(job)
+        shell.node.net.listen(shell.node.net.bind(shell.process, 5000))
+        alice = cluster.login("alice")
+        alice.socket().connect(shell.node.name, 5000)
+        assert cluster.security_log.by_kind(EventKind.NET_DENY) == []
+
+    def test_pam_denial_recorded(self, cluster):
+        with pytest.raises(AccessDenied):
+            cluster.ssh("bob", "c1")
+        denials = cluster.security_log.by_kind(EventKind.PAM_DENY)
+        assert len(denials) == 1
+        assert denials[0].target == "c1"
+
+    def test_pam_allowed_login_not_logged(self, cluster):
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        cluster.ssh("alice", job.nodes[0])
+        assert cluster.security_log.by_kind(EventKind.PAM_DENY) == []
+
+    def test_fs_denial_recorded_via_audited_session(self, cluster):
+        bob = cluster.login("bob")
+        sys = audited_session(bob, cluster.security_log)
+        with pytest.raises(KernelError):
+            sys.open_read("/home/alice/secret")
+        denials = cluster.security_log.by_kind(EventKind.FS_DENY)
+        assert denials and denials[0].target == "/home/alice/secret"
+
+    def test_audited_session_passthrough(self, cluster):
+        alice = cluster.login("alice")
+        sys = audited_session(alice, cluster.security_log)
+        sys.create("/home/alice/ok.txt", mode=0o600, data=b"x")
+        assert sys.open_read("/home/alice/ok.txt") == b"x"
+        assert cluster.security_log.by_kind(EventKind.FS_DENY) == []
+
+    def test_admin_escalation_audited(self, cluster):
+        sam = cluster.login("sam")
+        audited_seepid(cluster, sam)
+        admin = cluster.security_log.by_kind(EventKind.ADMIN)
+        assert len(admin) == 1
+        assert "seepid" in admin[0].detail
+
+
+class TestProbeDetection:
+    def _scan(self, cluster, attacker="mallory", n=6):
+        """Attacker probes many distinct homes + ports."""
+        session = cluster.login(attacker)
+        sys = audited_session(session, cluster.security_log)
+        for target in ("alice", "bob")[: max(1, n // 3)]:
+            for name in ("data", "results", "secrets"):
+                try:
+                    sys.open_read(f"/home/{target}/{name}")
+                except KernelError:
+                    pass
+
+    def test_scanner_flagged(self, cluster):
+        self._scan(cluster)
+        alerts = detect_probe_patterns(cluster.security_log)
+        assert len(alerts) == 1
+        assert alerts[0].subject_uid == cluster.user("mallory").uid
+        assert alerts[0].distinct_targets >= 3
+
+    def test_fat_finger_not_flagged(self, cluster):
+        """Six denials on the SAME path: not a scanner."""
+        bob = cluster.login("bob")
+        sys = audited_session(bob, cluster.security_log)
+        for _ in range(6):
+            try:
+                sys.open_read("/home/alice/report.pdf")
+            except KernelError:
+                pass
+        assert detect_probe_patterns(cluster.security_log) == []
+
+    def test_below_threshold_not_flagged(self, cluster):
+        bob = cluster.login("bob")
+        sys = audited_session(bob, cluster.security_log)
+        for name in ("a", "b"):
+            try:
+                sys.open_read(f"/home/alice/{name}")
+            except KernelError:
+                pass
+        assert detect_probe_patterns(cluster.security_log) == []
+
+    def test_window_restricts(self, cluster):
+        self._scan(cluster)
+        # all events at t=0; a window ending later excludes them
+        alerts = detect_probe_patterns(cluster.security_log,
+                                       window=10.0, now=1000.0)
+        assert alerts == []
+
+    def test_admin_events_never_count_as_probes(self, cluster):
+        sam = cluster.login("sam")
+        for _ in range(10):
+            audited_seepid(cluster, sam)
+        alerts = detect_probe_patterns(cluster.security_log)
+        assert all(a.subject_uid != sam.user.uid for a in alerts)
+
+    def test_full_battery_attacker_is_noisy(self, cluster):
+        """Cross-area probing (fs + net + pam) accumulates into one loud
+        alert — the observability payoff of system-level enforcement."""
+        mallory = cluster.login("mallory")
+        sys = audited_session(mallory, cluster.security_log)
+        for path in ("/home/alice/a", "/home/bob/b"):
+            try:
+                sys.open_read(path)
+            except KernelError:
+                pass
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        shell = cluster.job_session(job)
+        shell.node.net.listen(shell.node.net.bind(shell.process, 5000))
+        for port_host in ((shell.node.name, 5000),):
+            try:
+                mallory.socket().connect(*port_host)
+            except KernelError:
+                pass
+        try:
+            cluster.ssh("mallory", job.nodes[0])
+        except KernelError:
+            pass
+        alerts = detect_probe_patterns(cluster.security_log,
+                                       min_denials=4)
+        assert alerts and alerts[0].subject_uid == mallory.user.uid
+        assert len(alerts[0].kinds) >= 3  # fs + net + pam all present

@@ -1,0 +1,44 @@
+"""Network test fixtures: a two/three-host fabric with optional UBF."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import LinuxNode
+from repro.net import Fabric, Firewall, HostStack, UBFDaemon, ubf_ruleset
+
+
+def build_fabric(userdb, hostnames, *, ubf: bool, cache: bool = True,
+                 conntrack: bool = True):
+    """Create nodes + stacks; with ubf=True each host gets the appendix
+    ruleset and a UBF daemon bound to its nfqueue."""
+    fabric = Fabric()
+    nodes, daemons = {}, {}
+    for name in hostnames:
+        node = LinuxNode(name, userdb)
+        fw = Firewall(rules=ubf_ruleset() if ubf else [])
+        fw.conntrack.enabled = conntrack
+        stack = HostStack(node, fabric, firewall=fw)
+        nodes[name] = node
+        if ubf:
+            daemons[name] = UBFDaemon(stack, fabric, userdb,
+                                      cache_enabled=cache).install()
+    return fabric, nodes, daemons
+
+
+@pytest.fixture
+def open_fabric(userdb):
+    """No UBF: stock permissive network."""
+    return build_fabric(userdb, ["c1", "c2", "c3"], ubf=False)
+
+
+@pytest.fixture
+def ubf_fabric(userdb):
+    """UBF on every host."""
+    return build_fabric(userdb, ["c1", "c2", "c3"], ubf=True)
+
+
+def proc_on(nodes, host, userdb, username, argv=("app",)):
+    node = nodes[host]
+    creds = userdb.credentials_for(userdb.user(username))
+    return node.procs.spawn(creds, list(argv))

@@ -1,0 +1,121 @@
+"""Unit tests: rules, conntrack, nfqueue plumbing."""
+
+import pytest
+
+from repro.net import (
+    ConnState,
+    ConntrackTable,
+    Firewall,
+    FiveTuple,
+    Packet,
+    Proto,
+    Rule,
+    Verdict,
+    ubf_ruleset,
+)
+
+
+def flow(dport=5000, proto=Proto.TCP, src_port=50000):
+    return FiveTuple(proto, "c1", src_port, "c2", dport)
+
+
+class TestRules:
+    def test_port_range_match(self):
+        r = Rule(Verdict.NFQUEUE, dport_min=1024)
+        assert r.matches(Packet(flow(5000), ConnState.NEW))
+        assert not r.matches(Packet(flow(22), ConnState.NEW))
+
+    def test_proto_match(self):
+        r = Rule(Verdict.DROP, proto=Proto.UDP)
+        assert r.matches(Packet(flow(proto=Proto.UDP), ConnState.NEW))
+        assert not r.matches(Packet(flow(proto=Proto.TCP), ConnState.NEW))
+
+    def test_state_match(self):
+        r = Rule(Verdict.NFQUEUE, state=ConnState.NEW)
+        assert not r.matches(Packet(flow(), ConnState.ESTABLISHED))
+
+    def test_first_matching_rule_wins(self):
+        fw = Firewall(rules=[
+            Rule(Verdict.DROP, dport_min=5000, dport_max=5000),
+            Rule(Verdict.ACCEPT),
+        ])
+        assert fw.evaluate(Packet(flow(5000), ConnState.NEW)) is Verdict.DROP
+        assert fw.evaluate(Packet(flow(6000), ConnState.NEW)) is Verdict.ACCEPT
+
+    def test_default_policy_when_no_match(self):
+        fw = Firewall(rules=[Rule(Verdict.DROP, proto=Proto.UDP)],
+                      default_policy=Verdict.ACCEPT)
+        assert fw.evaluate(Packet(flow(), ConnState.NEW)) is Verdict.ACCEPT
+
+
+class TestConntrack:
+    def test_lookup_both_directions(self):
+        ct = ConntrackTable()
+        f = flow()
+        ct.commit(f)
+        assert ct.lookup(f) is not None
+        assert ct.lookup(f.reversed()) is not None
+
+    def test_disabled_table_never_hits(self):
+        ct = ConntrackTable(enabled=False)
+        ct.commit(flow())
+        assert ct.lookup(flow()) is None
+
+    def test_evict(self):
+        ct = ConntrackTable()
+        ct.commit(flow())
+        ct.evict(flow().reversed())
+        assert ct.lookup(flow()) is None
+
+    def test_fastpath_skips_rules(self):
+        fw = Firewall(rules=[Rule(Verdict.DROP)])  # drop everything new
+        fw.conntrack.commit(flow())
+        pkt = Packet(flow(), ConnState.NEW, payload_len=100)
+        assert fw.evaluate(pkt) is Verdict.ACCEPT
+        assert fw.metrics.report()["conntrack_fastpath_packets"] == 1
+        entry = fw.conntrack.lookup(flow())
+        assert entry.packets == 1 and entry.bytes == 100
+
+    def test_accept_commits_to_conntrack(self):
+        fw = Firewall(rules=[Rule(Verdict.ACCEPT)])
+        fw.evaluate(Packet(flow(), ConnState.NEW))
+        assert fw.conntrack.lookup(flow()) is not None
+
+    def test_drop_not_committed(self):
+        fw = Firewall(rules=[Rule(Verdict.DROP)])
+        fw.evaluate(Packet(flow(), ConnState.NEW))
+        assert fw.conntrack.lookup(flow()) is None
+
+
+class TestNfqueue:
+    def test_handler_verdict_respected(self):
+        fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
+        fw.bind_nfqueue(lambda pkt: Verdict.DROP)
+        assert fw.evaluate(Packet(flow(), ConnState.NEW)) is Verdict.DROP
+        fw.bind_nfqueue(lambda pkt: Verdict.ACCEPT)
+        assert fw.evaluate(Packet(flow(src_port=50001), ConnState.NEW)) is Verdict.ACCEPT
+
+    def test_accepting_handler_commits_conntrack(self):
+        fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
+        calls = []
+        fw.bind_nfqueue(lambda pkt: (calls.append(pkt), Verdict.ACCEPT)[1])
+        fw.evaluate(Packet(flow(), ConnState.NEW))
+        fw.evaluate(Packet(flow(), ConnState.NEW))  # same flow again
+        assert len(calls) == 1  # second packet rode conntrack
+
+    def test_queue_without_daemon_fails_closed(self):
+        fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
+        assert fw.evaluate(Packet(flow(), ConnState.NEW)) is Verdict.DROP
+
+
+class TestUbfRuleset:
+    def test_user_ports_queued(self):
+        fw = Firewall(rules=ubf_ruleset())
+        fw.bind_nfqueue(lambda pkt: Verdict.ACCEPT)
+        fw.evaluate(Packet(flow(8888), ConnState.NEW))
+        assert fw.metrics.report()["nfqueue_decisions"] == 1
+
+    def test_privileged_ports_not_queued(self):
+        fw = Firewall(rules=ubf_ruleset())
+        fw.bind_nfqueue(lambda pkt: Verdict.DROP)  # would drop if queued
+        assert fw.evaluate(Packet(flow(22), ConnState.NEW)) is Verdict.ACCEPT

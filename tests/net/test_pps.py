@@ -1,0 +1,139 @@
+"""Unit tests: the traditional PPS firewall baseline."""
+
+import pytest
+
+from repro.kernel.errors import TimedOut
+from repro.net import PPSPolicy, Proto, Rule, Verdict
+from repro.net.firewall import ConnState, FiveTuple, Packet
+
+from tests.net.conftest import build_fabric, proc_on
+
+
+def pkt(port, proto=Proto.TCP):
+    return Packet(FiveTuple(proto, "c1", 50000, "c2", port), ConnState.NEW)
+
+
+class TestPolicy:
+    def test_default_drop(self):
+        assert PPSPolicy().handler(pkt(8080)) is Verdict.DROP
+
+    def test_approved_service_allowed(self):
+        p = PPSPolicy()
+        p.approve(Proto.TCP, 8080, "team webapp")
+        assert p.handler(pkt(8080)) is Verdict.ACCEPT
+        assert p.handler(pkt(8080, Proto.UDP)) is Verdict.DROP  # per-proto
+
+    def test_revoke(self):
+        p = PPSPolicy()
+        p.approve(Proto.TCP, 8080)
+        p.revoke(Proto.TCP, 8080)
+        assert p.handler(pkt(8080)) is Verdict.DROP
+        assert p.change_requests == 2
+
+    def test_no_principal_in_decision(self):
+        """The defining weakness: identical verdict regardless of who."""
+        p = PPSPolicy()
+        p.approve(Proto.TCP, 8080)
+        a = Packet(FiveTuple(Proto.TCP, "c1", 1, "c2", 8080), ConnState.NEW)
+        b = Packet(FiveTuple(Proto.TCP, "c9", 2, "c2", 8080), ConnState.NEW)
+        assert p.handler(a) is p.handler(b) is Verdict.ACCEPT
+
+
+class TestPPSOnFabric:
+    def _fabric_with_pps(self, userdb, policy):
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True)
+        # replace the UBF daemon with the PPS handler on c2
+        nodes["c2"].net.firewall.bind_nfqueue(policy.handler)
+        return fabric, nodes
+
+    def test_unapproved_port_blocks_own_traffic(self, userdb):
+        """A 'version 0' app on a random port: the PPS firewall denies the
+        developer's own legitimate client."""
+        policy = PPSPolicy()
+        fabric, nodes = self._fabric_with_pps(userdb, policy)
+        srv = proc_on(nodes, "c2", userdb, "alice")
+        nodes["c2"].net.listen(nodes["c2"].net.bind(srv, 7777))
+        cli = proc_on(nodes, "c1", userdb, "alice")
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(cli, "c2", 7777)
+
+    def test_approved_port_admits_everyone(self, userdb):
+        """Once opened, the port carries no principal: strangers connect."""
+        policy = PPSPolicy()
+        policy.approve(Proto.TCP, 7777, "alice's sim (ticket #142)")
+        fabric, nodes = self._fabric_with_pps(userdb, policy)
+        srv = proc_on(nodes, "c2", userdb, "alice")
+        nodes["c2"].net.listen(nodes["c2"].net.bind(srv, 7777))
+        for username in ("alice", "bob"):
+            cli = proc_on(nodes, "c1", userdb, username)
+            conn = nodes["c1"].net.connect(cli, "c2", 7777)
+            assert conn.open
+
+
+class TestEncryptedChannel:
+    def _pair(self, userdb, key_c=b"k" * 16, key_s=b"k" * 16):
+        from repro.workloads import CryptoStats, EncryptedChannel
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=False)
+        srv = proc_on(nodes, "c2", userdb, "alice")
+        lst = nodes["c2"].net.listen(nodes["c2"].net.bind(srv, 5000))
+        cli = proc_on(nodes, "c1", userdb, "alice")
+        conn = nodes["c1"].net.connect(cli, "c2", 5000)
+        server_end = nodes["c2"].net.accept(lst)
+        stats = CryptoStats()
+        return (EncryptedChannel(conn, key_c, stats),
+                EncryptedChannel(server_end, key_s, stats), stats)
+
+    def test_roundtrip(self, userdb):
+        c, s, stats = self._pair(userdb)
+        c.send(b"sensitive payload")
+        assert s.recv() == b"sensitive payload"
+        assert stats.messages == 2
+        assert stats.bytes_processed == 2 * len(b"sensitive payload")
+
+    def test_ciphertext_on_wire(self, userdb):
+        c, s, _ = self._pair(userdb)
+        c.send(b"AAAA" * 32)
+        raw = s.end.recv()  # read the raw frame instead of opening it
+        assert b"AAAA" not in raw
+
+    def test_wrong_key_mac_failure(self, userdb):
+        from repro.kernel.errors import InvalidArgument
+        c, s, stats = self._pair(userdb, key_s=b"x" * 16)
+        c.send(b"data")
+        with pytest.raises(InvalidArgument):
+            s.recv()
+        assert stats.mac_failures == 1
+
+    def test_multi_message_counters_stay_synced(self, userdb):
+        c, s, _ = self._pair(userdb)
+        for i in range(10):
+            c.send(f"msg-{i}".encode())
+        got = [s.recv() for _ in range(10)]
+        assert got == [f"msg-{i}".encode() for i in range(10)]
+
+    def test_short_key_rejected(self, userdb):
+        from repro.kernel.errors import InvalidArgument
+        c, s, _ = self._pair(userdb)
+        with pytest.raises(InvalidArgument):
+            from repro.workloads import EncryptedChannel
+            EncryptedChannel(c.end, b"short")
+
+    def test_empty_recv_passthrough(self, userdb):
+        c, s, _ = self._pair(userdb)
+        assert s.recv() == b""
+
+
+class TestCostModels:
+    def test_option1_scales_with_traffic(self):
+        from repro.workloads import option1_exchange_cost_us
+        small = option1_exchange_cost_us(100, 1024)
+        big = option1_exchange_cost_us(10_000, 1024)
+        assert big == pytest.approx(100 * small)
+
+    def test_option2_flat_in_messages(self):
+        from repro.workloads import option2_exchange_cost_us
+        a = option2_exchange_cost_us(4, n_messages=100)
+        b = option2_exchange_cost_us(4, n_messages=10_000)
+        # dominated by per-connection setup, not message count
+        assert b < a * 25
+        assert option2_exchange_cost_us(4) == pytest.approx(4 * 155.0)

@@ -1,0 +1,80 @@
+"""Unit tests: RDMA queue pairs and the UBF coverage boundary (E10)."""
+
+import pytest
+
+from repro.kernel.errors import InvalidArgument, NotConnected, TimedOut
+from repro.net import Proto, RDMAFabric
+
+from tests.net.conftest import build_fabric, proc_on
+
+
+@pytest.fixture
+def rdma_setup(userdb):
+    fabric, nodes, daemons = build_fabric(userdb, ["c1", "c2"], ubf=True)
+    return fabric, nodes, RDMAFabric(fabric)
+
+
+def listen_control(nodes, userdb, host, user, port):
+    p = proc_on(nodes, host, userdb, user, argv=("qp-ctl",))
+    nodes[host].net.listen(nodes[host].net.bind(p, port))
+    return p
+
+
+class TestMemoryRegion:
+    def test_write_read_roundtrip(self, rdma_setup, userdb):
+        _, nodes, rdma = rdma_setup
+        qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "alice"))
+        qp.mr.write(10, b"hello")
+        assert qp.mr.read(10, 5) == b"hello"
+        assert qp.mr.read(0, 5) == b"\x00" * 5
+
+
+class TestTcpControlChannel:
+    def test_same_user_qp_connects(self, rdma_setup, userdb):
+        _, nodes, rdma = rdma_setup
+        server_proc = listen_control(nodes, userdb, "c2", "alice", 18515)
+        client_qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "alice"))
+        server_qp = rdma.create_qp("c2", server_proc)
+        rdma.connect_qp_tcp(client_qp, server_qp, 18515)
+        assert client_qp.connected and server_qp.connected
+        client_qp.rdma_write(0, b"bulk")
+        assert server_qp.mr.read(0, 4) == b"bulk"
+
+    def test_cross_user_qp_blocked_by_ubf(self, rdma_setup, userdb):
+        """The TCP control channel is UBF-governed: bob cannot set up a QP
+        to alice's endpoint, so the RDMA path never opens."""
+        _, nodes, rdma = rdma_setup
+        server_proc = listen_control(nodes, userdb, "c2", "alice", 18515)
+        client_qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "bob"))
+        server_qp = rdma.create_qp("c2", server_proc)
+        with pytest.raises(TimedOut):
+            rdma.connect_qp_tcp(client_qp, server_qp, 18515)
+        assert not client_qp.connected
+        with pytest.raises(NotConnected):
+            client_qp.rdma_read(0, 16)
+
+    def test_no_control_listener_rejected(self, rdma_setup, userdb):
+        _, nodes, rdma = rdma_setup
+        client_qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "alice"))
+        server_qp = rdma.create_qp("c2", proc_on(nodes, "c2", userdb, "alice"))
+        with pytest.raises(InvalidArgument):
+            rdma.connect_qp_tcp(client_qp, server_qp, 18515)
+
+
+class TestNativeCmBypass:
+    def test_cm_setup_ignores_ubf(self, rdma_setup, userdb):
+        """The residual path the appendix documents: native-CM QP setup
+        carries cross-user RDMA despite the UBF."""
+        fabric, nodes, rdma = rdma_setup
+        victim_qp = rdma.create_qp("c2", proc_on(nodes, "c2", userdb, "alice"))
+        victim_qp.mr.write(0, b"alice-secret")
+        attacker_qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "bob"))
+        rdma.connect_qp_cm(attacker_qp, victim_qp)
+        assert attacker_qp.rdma_read(0, 12) == b"alice-secret"
+        assert fabric.metrics.report()["qp_setup_cm"] == 1
+
+    def test_disconnected_qp_unusable(self, rdma_setup, userdb):
+        _, nodes, rdma = rdma_setup
+        qp = rdma.create_qp("c1", proc_on(nodes, "c1", userdb, "bob"))
+        with pytest.raises(NotConnected):
+            qp.rdma_write(0, b"x")

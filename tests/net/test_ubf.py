@@ -1,0 +1,212 @@
+"""Unit + integration tests: the User-Based Firewall decision rule,
+conntrack amortisation, cache, and cross-user denial semantics."""
+
+import pytest
+
+from repro.kernel.errors import TimedOut
+from repro.net import Proto, Verdict, firewall_cost_us
+
+from tests.net.conftest import build_fabric, proc_on
+
+
+def serve(nodes, userdb, host, user, port, proto=Proto.TCP):
+    p = proc_on(nodes, host, userdb, user, argv=("server",))
+    net = nodes[host].net
+    if proto is Proto.TCP:
+        return net.listen(net.bind(p, port)), p
+    return net.bind(p, port, proto), p
+
+
+class TestDecisionRule:
+    def test_same_user_allowed(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                       "c2", 5000)
+        conn.send(b"mine")
+        assert nodes["c2"].net.accept(listener).recv() == b"mine"
+
+    def test_cross_user_dropped(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        serve(nodes, userdb, "c2", "alice", 5000)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                    "c2", 5000)
+
+    def test_group_member_allowed_when_listener_sg(self, ubf_fabric, userdb):
+        """carol listens with egid=fusion (via sg); dave (member) connects."""
+        _, nodes, _ = ubf_fabric
+        fusion = userdb.group("fusion").gid
+        carol = proc_on(nodes, "c2", userdb, "carol")
+        carol.creds = carol.creds.with_egid(fusion)
+        listener = nodes["c2"].net.listen(nodes["c2"].net.bind(carol, 5000))
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "dave"),
+                                       "c2", 5000)
+        conn.send(b"group data")
+        assert nodes["c2"].net.accept(listener).recv() == b"group data"
+
+    def test_group_rule_is_opt_in(self, ubf_fabric, userdb):
+        """Without sg, carol's listener has her private egid: dave denied —
+        sharing via the network is opt-in exactly like the paper says."""
+        _, nodes, _ = ubf_fabric
+        serve(nodes, userdb, "c2", "carol", 5000)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "dave"),
+                                    "c2", 5000)
+
+    def test_non_member_denied_despite_sg(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        fusion = userdb.group("fusion").gid
+        carol = proc_on(nodes, "c2", userdb, "carol")
+        carol.creds = carol.creds.with_egid(fusion)
+        nodes["c2"].net.listen(nodes["c2"].net.bind(carol, 5000))
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                    "c2", 5000)
+
+    def test_root_services_reachable(self, ubf_fabric, userdb):
+        """A root-owned service on a user port accepts any user (e.g. a
+        system daemon); the rule only bites for user-owned listeners."""
+        _, nodes, _ = ubf_fabric
+        listener, _ = serve(nodes, userdb, "c2", "root", 8080)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                       "c2", 8080)
+        assert conn.open
+
+    def test_udp_cross_user_dropped(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        serve(nodes, userdb, "c2", "alice", 6000, Proto.UDP)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.sendto(proc_on(nodes, "c1", userdb, "bob"),
+                                   "c2", 6000, b"x")
+
+    def test_udp_same_user_allowed(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        inbox, _ = serve(nodes, userdb, "c2", "alice", 6000, Proto.UDP)
+        nodes["c1"].net.sendto(proc_on(nodes, "c1", userdb, "alice"),
+                               "c2", 6000, b"dg")
+        assert nodes["c2"].net.recvfrom(inbox).data == b"dg"
+
+    def test_open_fabric_has_no_protection(self, open_fabric, userdb):
+        """Baseline: cross-user connections succeed without the UBF."""
+        _, nodes, _ = open_fabric
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                       "c2", 5000)
+        assert conn.open
+
+
+class TestDenialObservability:
+    def test_denial_logged(self, ubf_fabric, userdb):
+        _, nodes, daemons = ubf_fabric
+        serve(nodes, userdb, "c2", "alice", 5000)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                    "c2", 5000)
+        denials = [d for d in daemons["c2"].log if d.verdict is Verdict.DROP]
+        assert len(denials) == 1
+        assert denials[0].reason == "cross-user connection denied"
+
+    def test_denied_flow_not_in_conntrack(self, ubf_fabric, userdb):
+        _, nodes, _ = ubf_fabric
+        serve(nodes, userdb, "c2", "alice", 5000)
+        before = len(nodes["c2"].net.firewall.conntrack)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                    "c2", 5000)
+        assert len(nodes["c2"].net.firewall.conntrack) == before
+
+
+class TestConntrackAmortisation:
+    def test_established_flow_skips_daemon(self, ubf_fabric, userdb):
+        fabric, nodes, daemons = ubf_fabric
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                       "c2", 5000)
+        decisions_after_setup = len(daemons["c2"].log)
+        for _ in range(100):
+            conn.send(b"payload")
+        assert len(daemons["c2"].log) == decisions_after_setup
+        assert fabric.metrics.report()["conntrack_fastpath_packets"] >= 100
+
+    def test_cost_concentrated_in_setup(self, userdb):
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True)
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                       "c2", 5000)
+        setup_cost = firewall_cost_us(fabric.metrics)
+        for _ in range(1000):
+            conn.send(b"x")
+        total_cost = firewall_cost_us(fabric.metrics)
+        per_packet = (total_cost - setup_cost) / 1000
+        assert per_packet < 1.0  # fast path is sub-microsecond
+        assert setup_cost > 100  # setup paid the ident RTT
+
+    def test_conntrack_disabled_reaches_daemon_repeatedly(self, userdb):
+        """Ablation: with conntrack off, TCP *setup* of each new connection
+        pays the full decision every time (no flow memory at all)."""
+        fabric, nodes, daemons = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                              conntrack=False, cache=False)
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        for _ in range(5):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                    "c2", 5000)
+        assert fabric.metrics.report()["ident_round_trips"] == 5
+
+
+class TestDecisionCache:
+    def test_cache_skips_ident(self, userdb):
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                        cache=True)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        client = proc_on(nodes, "c1", userdb, "alice")
+        for _ in range(4):
+            nodes["c1"].net.connect(client, "c2", 5000)
+        rep = fabric.metrics.report()
+        assert rep["ident_round_trips"] == 4  # remote query still made
+        assert rep["ubf_cache_hits"] == 3
+        assert rep["ubf_full_decisions"] == 1
+
+    def test_cache_disabled_full_decision_each_time(self, userdb):
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                        cache=False)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        client = proc_on(nodes, "c1", userdb, "alice")
+        for _ in range(4):
+            nodes["c1"].net.connect(client, "c2", 5000)
+        assert fabric.metrics.report()["ubf_full_decisions"] == 4
+
+    def test_sg_changes_cache_key(self, userdb):
+        """After the listener switches egid, cached cross-user denials do not
+        mask the now-legitimate group decision."""
+        fabric, nodes, daemons = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                              cache=True)
+        fusion = userdb.group("fusion").gid
+        carol = proc_on(nodes, "c2", userdb, "carol")
+        nodes["c2"].net.listen(nodes["c2"].net.bind(carol, 5000))
+        dave = proc_on(nodes, "c1", userdb, "dave")
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(dave, "c2", 5000)
+        carol.creds = carol.creds.with_egid(fusion)  # sg fusion
+        conn = nodes["c1"].net.connect(dave, "c2", 5000)
+        assert conn.open
+
+
+class TestPortCollision:
+    def test_two_users_same_port_no_crosstalk(self, ubf_fabric, userdb):
+        """Section V: 'Even if two users accidentally choose the same port
+        number for a network service, they cannot crosstalk and corrupt each
+        others data.'  alice and bob both run port-5000 services on
+        different nodes; each user's client lands only on their own server."""
+        _, nodes, _ = ubf_fabric
+        a_listener, _ = serve(nodes, userdb, "c1", "alice", 5000)
+        b_listener, _ = serve(nodes, userdb, "c2", "bob", 5000)
+        # alice's client hits bob's node by mistake: dropped
+        with pytest.raises(TimedOut):
+            nodes["c3"].net.connect(proc_on(nodes, "c3", userdb, "alice"),
+                                    "c2", 5000)
+        # and her own service still works
+        conn = nodes["c3"].net.connect(proc_on(nodes, "c3", userdb, "alice"),
+                                       "c1", 5000)
+        conn.send(b"alice-data")
+        assert nodes["c1"].net.accept(a_listener).recv() == b"alice-data"

@@ -1,0 +1,79 @@
+"""Property-based tests: modulefile parse/render roundtrip and load/unload
+environment restoration."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.modules import ModuleFile, parse_modulefile, render_modulefile
+
+names = st.from_regex(r"[a-z][a-z0-9_-]{0,15}", fullmatch=True)
+versions = st.from_regex(r"[0-9][0-9a-z.]{0,7}", fullmatch=True)
+env_vars = st.from_regex(r"[A-Z][A-Z0-9_]{0,15}", fullmatch=True)
+paths = st.from_regex(r"/[a-z0-9/_.-]{1,30}", fullmatch=True).map(
+    lambda p: p.rstrip("/") or "/x")
+
+
+module_files = st.builds(
+    ModuleFile,
+    name=names,
+    version=versions,
+    setenv=st.dictionaries(env_vars, paths, max_size=4),
+    prepend_path=st.dictionaries(
+        env_vars, st.lists(paths, min_size=1, max_size=3).map(tuple),
+        max_size=3),
+    conflicts=st.frozensets(names, max_size=3),
+    description=st.text(
+        alphabet=st.characters(whitelist_categories=("Ll", "Lu", "Nd"),
+                               whitelist_characters=" -"),
+        max_size=40).map(str.strip),
+)
+
+
+class TestRoundtrip:
+    @given(mod=module_files)
+    @settings(max_examples=100)
+    def test_parse_render_roundtrip(self, mod):
+        text = render_modulefile(mod)
+        again = parse_modulefile(mod.name, mod.version, text)
+        assert again.setenv == mod.setenv
+        assert again.prepend_path == mod.prepend_path
+        assert again.conflicts == mod.conflicts
+        assert again.full_name == mod.full_name
+
+    @given(mod=module_files)
+    def test_render_starts_with_magic(self, mod):
+        assert render_modulefile(mod).startswith("#%Module")
+
+
+class TestLoadUnloadRestoration:
+    @given(mod=module_files,
+           base_env=st.dictionaries(env_vars, paths, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_load_then_unload_restores_env(self, mod, base_env):
+        """For any module and any prior environment, unload(load(env))
+        restores the PATH-like variables exactly (the module command's
+        contract)."""
+        from repro.kernel import LinuxNode, UserDB
+        from repro.kernel.node import ROOT_CREDS
+        from repro.modules import ModuleSystem, publish_module
+
+        db = UserDB()
+        user = db.add_user("u")
+        node = LinuxNode("n", db)
+        node.vfs.mkdir("/scratch", ROOT_CREDS, mode=0o755)
+        publish_module(node, ROOT_CREDS, "/scratch/modulefiles", mod)
+        proc = node.procs.spawn(db.credentials_for(user), ["sh"])
+        proc.environ.update(base_env)
+        before = dict(proc.environ)
+        ms = ModuleSystem(node)
+        ms.load(proc, mod.name)
+        ms.unload(proc, mod.name)
+        after = dict(proc.environ)
+        after.pop("LOADEDMODULES", None)
+        before.pop("LOADEDMODULES", None)
+        # restoration holds unless the module legitimately collided with a
+        # pre-existing value it overwrote via setenv
+        for var, val in before.items():
+            if var in mod.setenv:
+                continue
+            assert after.get(var) == val

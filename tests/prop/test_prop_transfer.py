@@ -1,0 +1,38 @@
+"""Property-based tests: scp round-trips arbitrary payloads faithfully."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Cluster, LLSC
+from repro.transfer import scp
+
+payloads = st.binary(min_size=0, max_size=4096)
+names = st.from_regex(r"[a-z][a-z0-9_.-]{0,20}", fullmatch=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(data=payloads, name=names)
+def test_scp_roundtrip_preserves_bytes(data, name):
+    cluster = Cluster.build(LLSC, n_compute=1, n_dtn=1, users=("alice",))
+    alice = cluster.login("alice")
+    src = f"/tmp/{name}"
+    alice.sys.create(src, mode=0o600, data=data)
+    res = scp(cluster, alice, src, f"dtn1:/tmp/{name}")
+    assert res.bytes_moved == len(data)
+    back = f"/tmp/back-{name}"
+    scp(cluster, alice, f"dtn1:/tmp/{name}", back)
+    assert alice.sys.open_read(back) == data
+
+
+@settings(max_examples=15, deadline=None)
+@given(data=payloads)
+def test_scp_never_leaks_mode_bits(data):
+    """Whatever is transferred, the destination carries no world bits
+    under the LLSC smask."""
+    cluster = Cluster.build(LLSC, n_compute=1, n_dtn=1, users=("alice",))
+    alice = cluster.login("alice")
+    alice.sys.create("/tmp/f", mode=0o600, data=data)
+    scp(cluster, alice, "/tmp/f", "dtn1:/tmp/f", mode=0o777)
+    dtn = cluster.node("dtn1")
+    st_ = dtn.vfs.stat("/tmp/f", alice.creds)
+    assert st_.mode & 0o007 == 0

@@ -1,0 +1,92 @@
+"""Property-based tests: the UBF decision rule and hidepid visibility."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.kernel import Credentials, ProcMountOptions, ProcFS, ProcessTable
+from repro.net import Verdict
+from repro.net.ubf import UBFDaemon
+
+uids = st.integers(min_value=1, max_value=30)
+gids = st.integers(min_value=100, max_value=130)
+group_sets = st.sets(st.integers(min_value=100, max_value=130), max_size=5)
+
+
+def rule(init_uid, init_groups, listen_uid, listen_egid):
+    # static access to the decision rule without a live fabric
+    return UBFDaemon._rule(None, init_uid, frozenset(init_groups),
+                           listen_uid, listen_egid)[0]
+
+
+class TestUbfRuleProperties:
+    @given(uid=uids, groups=group_sets, egid=gids)
+    def test_same_user_always_allowed(self, uid, groups, egid):
+        assert rule(uid, groups, uid, egid) is Verdict.ACCEPT
+
+    @given(init=uids, listen=uids, groups=group_sets, egid=gids)
+    def test_member_of_listener_egid_allowed(self, init, listen, groups,
+                                             egid):
+        assert rule(init, groups | {egid}, listen, egid) is Verdict.ACCEPT
+
+    @given(init=uids, listen=uids, groups=group_sets, egid=gids)
+    def test_stranger_never_allowed(self, init, listen, groups, egid):
+        if init == listen or init == 0 or egid in groups:
+            return
+        assert rule(init, groups, listen, egid) is Verdict.DROP
+
+    @given(listen=uids, groups=group_sets, egid=gids)
+    def test_root_initiator_allowed(self, listen, groups, egid):
+        assert rule(0, groups, listen, egid) is Verdict.ACCEPT
+
+    @given(init=uids, listen=uids, groups=group_sets, egid=gids)
+    def test_decision_deterministic(self, init, listen, groups, egid):
+        assert rule(init, groups, listen, egid) is rule(init, groups,
+                                                        listen, egid)
+
+
+proc_specs = st.lists(uids, min_size=1, max_size=20)
+
+
+class TestHidepidProperties:
+    def _table(self, owner_uids):
+        t = ProcessTable()
+        for u in owner_uids:
+            t.spawn(Credentials(uid=u, egid=u, groups=frozenset({u})),
+                    [f"prog-{u}"])
+        return t
+
+    @given(owners=proc_specs, viewer=uids)
+    def test_hidepid2_shows_exactly_own(self, owners, viewer):
+        t = self._table(owners)
+        view = ProcFS(t, ProcMountOptions(hidepid=2))
+        creds = Credentials(uid=viewer, egid=viewer,
+                            groups=frozenset({viewer}))
+        visible = view.list_pids(creds)
+        expected = [p.pid for p in t.processes() if p.creds.uid == viewer]
+        assert visible == expected
+
+    @given(owners=proc_specs, viewer=uids)
+    def test_hidepid_monotone(self, owners, viewer):
+        """Raising hidepid never reveals more."""
+        t = self._table(owners)
+        creds = Credentials(uid=viewer, egid=viewer,
+                            groups=frozenset({viewer}))
+        seen = [set(ProcFS(t, ProcMountOptions(hidepid=h)).list_pids(creds))
+                for h in (0, 1, 2)]
+        assert seen[2] <= seen[1] <= seen[0]
+
+    @given(owners=proc_specs)
+    def test_root_sees_all_at_any_level(self, owners):
+        t = self._table(owners)
+        root = Credentials(uid=0, egid=0, groups=frozenset({0}))
+        for h in (0, 1, 2):
+            view = ProcFS(t, ProcMountOptions(hidepid=h))
+            assert view.list_pids(root) == t.pids()
+
+    @given(owners=proc_specs, viewer=uids)
+    def test_ps_never_shows_foreign_cmdline_at_hidepid2(self, owners, viewer):
+        t = self._table(owners)
+        view = ProcFS(t, ProcMountOptions(hidepid=2))
+        creds = Credentials(uid=viewer, egid=viewer,
+                            groups=frozenset({viewer}))
+        assert all(r.uid == viewer for r in view.ps(creds))

@@ -1,0 +1,122 @@
+"""Property-based tests: DAC algorithm and File Permission Handler
+invariants over randomized modes, credentials, and ACLs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kernel import (
+    AclEntry,
+    Credentials,
+    FileKind,
+    R_OK,
+    ROOT_CREDS,
+    W_OK,
+    X_OK,
+    check_access,
+)
+from repro.kernel.smask import FilePermissionHandler
+from repro.kernel.vfs import Inode
+
+modes = st.integers(min_value=0, max_value=0o7777)
+perm_bits = st.integers(min_value=0, max_value=7)
+uids = st.integers(min_value=1, max_value=50)
+gids = st.integers(min_value=1, max_value=50)
+masks = st.integers(min_value=0, max_value=0o777)
+
+
+def creds(uid, egid, groups=(), smask=0):
+    return Credentials(uid=uid, egid=egid,
+                       groups=frozenset(groups) | {egid}, smask=smask)
+
+
+def inode(uid, gid, mode, acl=()):
+    return Inode(ino=1, kind=FileKind.FILE, uid=uid, gid=gid,
+                 mode=mode & 0o7777, acl=list(acl))
+
+
+class TestHandlerProperties:
+    @given(mode=modes, smask=masks, uid=uids)
+    def test_smask_bits_never_survive(self, mode, smask, uid):
+        h = FilePermissionHandler()
+        c = creds(uid, uid, smask=smask)
+        assert h.effective_mode(mode, c) & (smask & 0o777) == 0
+
+    @given(mode=modes, smask=masks, uid=uids)
+    def test_handler_only_removes_bits(self, mode, smask, uid):
+        h = FilePermissionHandler()
+        c = creds(uid, uid, smask=smask)
+        eff = h.effective_mode(mode, c)
+        assert eff & ~(mode & 0o7777) == 0  # no bit added
+
+    @given(mode=modes, smask=masks)
+    def test_root_untouched(self, mode, smask):
+        h = FilePermissionHandler()
+        assert h.effective_mode(mode, ROOT_CREDS) == mode & 0o7777
+
+    @given(mode=modes, smask=masks, uid=uids)
+    def test_idempotent(self, mode, smask, uid):
+        h = FilePermissionHandler()
+        c = creds(uid, uid, smask=smask)
+        once = h.effective_mode(mode, c)
+        assert h.effective_mode(once, c) == once
+
+    @given(mode=modes, uid=uids)
+    def test_disabled_handler_identity(self, mode, uid):
+        h = FilePermissionHandler(enabled=False)
+        c = creds(uid, uid, smask=0o777)
+        assert h.effective_mode(mode, c) == mode & 0o7777
+
+
+class TestDacProperties:
+    @given(uid=uids, gid=gids, mode=modes, want=perm_bits.filter(bool))
+    def test_root_always_passes(self, uid, gid, mode, want):
+        assert check_access(inode(uid, gid, mode), ROOT_CREDS, want)
+
+    @given(uid=uids, gid=gids, mode=modes, want=perm_bits.filter(bool))
+    def test_owner_decision_matches_owner_bits(self, uid, gid, mode, want):
+        c = creds(uid, gid)
+        expected = ((mode >> 6) & want) == want
+        assert check_access(inode(uid, gid, mode), c, want) == expected
+
+    @given(owner=uids, viewer=uids, gid=gids, mode=modes,
+           want=perm_bits.filter(bool))
+    def test_stranger_decision_matches_other_bits(self, owner, viewer, gid,
+                                                  mode, want):
+        if owner == viewer:
+            return
+        c = creds(viewer, viewer + 1000)  # disjoint groups from gid range
+        expected = (mode & want) == want
+        assert check_access(inode(owner, gid, mode), c, want) == expected
+
+    @given(owner=uids, viewer=uids, gid=gids, mode=modes,
+           want=perm_bits.filter(bool))
+    def test_group_member_never_reads_other_bits(self, owner, viewer, gid,
+                                                 mode, want):
+        """Group-class matching must not fall through to the other class."""
+        if owner == viewer:
+            return
+        c = creds(viewer, gid)  # member of the owning group
+        result = check_access(inode(owner, gid, mode), c, want)
+        expected = ((mode >> 3) & want) == want
+        assert result == expected
+
+    @given(owner=uids, viewer=uids, gid=gids, mode=modes,
+           acl_perm=perm_bits, want=perm_bits.filter(bool))
+    def test_acl_user_entry_is_decisive(self, owner, viewer, gid, mode,
+                                        acl_perm, want):
+        if owner == viewer:
+            return
+        c = creds(viewer, viewer + 1000)
+        node = inode(owner, gid, mode, acl=[AclEntry("user", viewer, acl_perm)])
+        assert check_access(node, c, want) == ((acl_perm & want) == want)
+
+    @given(uid=uids, gid=gids, mode=modes)
+    def test_want_monotone(self, uid, gid, mode):
+        """If R|W is granted then R alone is granted (monotone in want)."""
+        c = creds(uid + 100, gid + 100)
+        node = inode(uid, gid, mode)
+        if check_access(node, c, R_OK | W_OK):
+            assert check_access(node, c, R_OK)
+            assert check_access(node, c, W_OK)
+        if check_access(node, c, R_OK | W_OK | X_OK):
+            assert check_access(node, c, X_OK)

@@ -1,0 +1,130 @@
+"""Model-based testing: random VFS operation sequences vs a flat reference.
+
+A hypothesis ``RuleBasedStateMachine`` drives the simulated VFS with random
+creates/writes/chmods/unlinks by random principals and mirrors expected
+state in a plain dict.  Invariants checked after every step:
+
+* content of every file the model knows matches a root read;
+* no file owned by an unprivileged user under the LLSC handler ever carries
+  world bits, no matter which operation sequence produced it;
+* read permission outcomes for a stranger agree with the model's
+  prediction from (mode, owner) — i.e. the DAC code has no sequence-
+  dependent behaviour.
+"""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+from hypothesis import strategies as st
+
+from repro.kernel import Credentials, LLSC_KERNEL, PAPER_SMASK, ROOT_CREDS, VFS
+from repro.kernel.errors import KernelError
+from repro.kernel.vfs import check_access, R_OK
+
+USERS = {
+    "u1": Credentials(uid=1001, egid=1001, groups=frozenset({1001}),
+                      umask=0, smask=PAPER_SMASK),
+    "u2": Credentials(uid=1002, egid=1002, groups=frozenset({1002}),
+                      umask=0, smask=PAPER_SMASK),
+}
+
+user_names = st.sampled_from(sorted(USERS))
+modes = st.integers(min_value=0, max_value=0o777)
+contents = st.binary(max_size=32)
+
+
+class VfsMachine(RuleBasedStateMachine):
+    files = Bundle("files")
+
+    def __init__(self):
+        super().__init__()
+        self.vfs = VFS(handler=LLSC_KERNEL)
+        self.vfs.mkdir("/w", ROOT_CREDS, mode=0o1777)
+        self.model: dict[str, dict] = {}  # path -> {owner, mode, data}
+        self.counter = 0
+
+    # -- rules ---------------------------------------------------------------
+
+    @rule(target=files, user=user_names, mode=modes, data=contents)
+    def create(self, user, mode, data):
+        self.counter += 1
+        path = f"/w/f{self.counter}"
+        creds = USERS[user]
+        inode = self.vfs.create(path, creds, mode=mode, data=data)
+        self.model[path] = {"owner": user, "mode": inode.mode,
+                            "data": bytes(data)}
+        return path
+
+    @rule(path=files, user=user_names, data=contents)
+    def write(self, path, user, data):
+        if path not in self.model:
+            return
+        creds = USERS[user]
+        try:
+            self.vfs.write(path, creds, data)
+        except KernelError:
+            return
+        self.model[path]["data"] = bytes(data)
+
+    @rule(path=files, user=user_names, mode=modes)
+    def chmod(self, path, user, mode):
+        if path not in self.model:
+            return
+        creds = USERS[user]
+        try:
+            stored = self.vfs.chmod(path, creds, mode)
+        except KernelError:
+            return
+        self.model[path]["mode"] = stored
+
+    @rule(path=files, user=user_names)
+    def unlink(self, path, user):
+        if path not in self.model:
+            return
+        creds = USERS[user]
+        try:
+            self.vfs.unlink(path, creds)
+        except KernelError:
+            return
+        del self.model[path]
+
+    # -- invariants ------------------------------------------------------------
+
+    @invariant()
+    def contents_match_model(self):
+        for path, rec in self.model.items():
+            assert self.vfs.read(path, ROOT_CREDS) == rec["data"], path
+
+    @invariant()
+    def no_world_bits_ever(self):
+        """The smask invariant holds across EVERY operation sequence."""
+        for path, rec in self.model.items():
+            st_ = self.vfs.stat(path, ROOT_CREDS)
+            assert st_.mode & 0o007 == 0, (path, oct(st_.mode))
+
+    @invariant()
+    def stranger_read_matches_mode_prediction(self):
+        for path, rec in self.model.items():
+            owner_creds = USERS[rec["owner"]]
+            stranger = next(c for n, c in USERS.items()
+                            if n != rec["owner"])
+            inode = self.vfs.resolve(path, ROOT_CREDS)
+            expected = check_access(inode, stranger, R_OK)
+            try:
+                self.vfs.read(path, stranger)
+                observed = True
+            except KernelError:
+                observed = False
+            assert observed == expected, path
+
+
+TestVfsMachine = VfsMachine.TestCase
+TestVfsMachine.settings = settings(max_examples=30,
+                                   stateful_step_count=30,
+                                   deadline=None)

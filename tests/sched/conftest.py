@@ -1,0 +1,52 @@
+"""Scheduler test fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.kernel import LinuxNode, NodeSpec
+from repro.sched import (
+    ComputeNode,
+    GpuSeparationConfig,
+    NodeSharing,
+    Scheduler,
+    SchedulerConfig,
+    make_epilog,
+    make_prolog,
+)
+from repro.sim import Engine
+
+
+def build_sched(userdb, *, n_nodes=4, cores=8, mem_mb=16000, gpus=0,
+                policy=NodeSharing.SHARED, backfill=True,
+                gpu_separation: GpuSeparationConfig | None = None,
+                gpu_dev_mode=0o666):
+    engine = Engine()
+    nodes = [
+        ComputeNode.create(
+            LinuxNode(f"c{i}", userdb,
+                      spec=NodeSpec(cores=cores, mem_mb=mem_mb, gpus=gpus)),
+            gpu_dev_mode=gpu_dev_mode)
+        for i in range(1, n_nodes + 1)
+    ]
+    prolog = epilog = None
+    if gpu_separation is not None:
+        prolog = make_prolog(gpu_separation)
+        epilog = make_epilog(gpu_separation)
+    sched = Scheduler(engine, nodes,
+                      SchedulerConfig(policy=policy, backfill=backfill),
+                      prolog=prolog, epilog=epilog)
+    return engine, sched
+
+
+@pytest.fixture
+def shared_sched(userdb):
+    return build_sched(userdb)
+
+
+def spec(userdb, user="alice", **kw):
+    from repro.sched import JobSpec
+    defaults = dict(name="job", ntasks=1, cores_per_task=1,
+                    mem_mb_per_task=1000)
+    defaults.update(kw)
+    return JobSpec(user=userdb.user(user), **defaults)

@@ -1,0 +1,116 @@
+"""Unit + integration tests: batch scripts and slurm-<id>.out."""
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import AccessDenied
+from repro.sched import JobState, JobSpec
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(LLSC, n_compute=2, users=("alice", "bob"))
+
+
+def submit_script(cluster, username, script, duration=10.0, **kw):
+    spec = JobSpec(user=cluster.user(username), name="batch",
+                   workdir=f"/home/{username}", script=script, **kw)
+    return cluster.scheduler.submit(spec, duration)
+
+
+class TestBatchScripts:
+    def test_script_runs_as_user_on_head_node(self, cluster):
+        seen = {}
+
+        def script(ctx):
+            seen["uid"] = ctx.sys.creds.uid
+            seen["node"] = ctx.node.name
+            seen["job_id"] = ctx.sys.process.job_id
+
+        job = submit_script(cluster, "alice", script)
+        cluster.run(until=1.0)
+        assert seen["uid"] == cluster.user("alice").uid
+        assert seen["node"] == job.nodes[0]
+        assert seen["job_id"] == job.job_id
+
+    def test_script_writes_results_to_home(self, cluster):
+        def script(ctx):
+            ctx.sys.create(f"{ctx.job.spec.workdir}/result.dat",
+                           mode=0o640, data=b"42")
+            ctx.print("wrote result.dat")
+
+        job = submit_script(cluster, "alice", script)
+        cluster.run()
+        alice = cluster.login("alice")
+        assert alice.sys.open_read("/home/alice/result.dat") == b"42"
+
+    def test_stdout_file_materialised(self, cluster):
+        def script(ctx):
+            ctx.print("step 1 done")
+            ctx.print("loss =", 0.123)
+
+        job = submit_script(cluster, "alice", script)
+        cluster.run()
+        assert job.state is JobState.COMPLETED
+        alice = cluster.login("alice")
+        out = alice.sys.open_read(job.stdout_path).decode()
+        assert out == "step 1 done\nloss = 0.123\n"
+
+    def test_stdout_private_to_owner(self, cluster):
+        def script(ctx):
+            ctx.print("sensitive progress info")
+
+        job = submit_script(cluster, "alice", script)
+        cluster.run()
+        bob = cluster.login("bob")
+        with pytest.raises(AccessDenied):
+            bob.sys.open_read(job.stdout_path)
+
+    def test_failing_script_fails_job(self, cluster):
+        def script(ctx):
+            ctx.print("about to crash")
+            raise RuntimeError("segfault in user code")
+
+        job = submit_script(cluster, "alice", script)
+        cluster.run()
+        assert job.state is JobState.FAILED
+        assert cluster.scheduler.metrics.report()["script_failures"] == 1
+        alice = cluster.login("alice")
+        out = alice.sys.open_read(job.stdout_path).decode()
+        assert "about to crash" in out
+        assert "segfault" in out
+
+    def test_script_denied_by_smask_fails_cleanly(self, cluster):
+        """A script hitting an enforcement wall fails its job, nothing
+        else (blast radius: one job)."""
+
+        def script(ctx):
+            ctx.sys.open_read("/home/bob/data")  # EACCES
+
+        job = submit_script(cluster, "alice", script)
+        other = cluster.submit("alice", duration=5.0)
+        cluster.run()
+        assert job.state is JobState.FAILED
+        assert other.state is JobState.COMPLETED
+
+    def test_script_can_serve_network(self, cluster):
+        """A batch script opening a service is reachable by its owner."""
+        holder = {}
+
+        def script(ctx):
+            sock = ctx.node.net.listen(
+                ctx.node.net.bind(ctx.sys.process, 9999))
+            holder["sock"] = sock
+            ctx.print("serving on 9999")
+
+        job = submit_script(cluster, "alice", script, duration=100.0)
+        cluster.run(until=1.0)
+        alice = cluster.login("alice")
+        conn = alice.socket().connect(job.nodes[0], 9999)
+        assert conn.open
+
+    def test_no_stdout_file_without_output(self, cluster):
+        job = cluster.submit("alice", duration=5.0)
+        cluster.run()
+        alice = cluster.login("alice")
+        assert not alice.sys.access(job.stdout_path, 4)

@@ -1,0 +1,108 @@
+"""Unit tests: node drain/resume, hardware failure, requeue."""
+
+import pytest
+
+from repro.sched import JobState, NodeSharing
+
+from tests.sched.conftest import build_sched, spec
+
+
+class TestDrain:
+    def test_drained_node_gets_no_new_jobs(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.drain("c1")
+        job = sched.submit(spec(userdb, ntasks=4), duration=10.0)
+        engine.run(until=1.0)
+        assert job.nodes == ["c2"]
+
+    def test_running_jobs_survive_drain(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        job = sched.submit(spec(userdb, ntasks=2), duration=10.0)
+        engine.run(until=1.0)
+        sched.drain("c1")
+        engine.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_resume_reopens_node(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.drain("c1")
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run(until=1.0)
+        assert job.state is JobState.PENDING
+        sched.resume("c1")
+        engine.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_all_drained_queue_waits(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.drain("c1")
+        sched.drain("c2")
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run()
+        assert job.state is JobState.PENDING
+
+
+class TestNodeFailure:
+    def test_fail_kills_running_jobs(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        job = sched.submit(spec(userdb, ntasks=2), duration=100.0)
+        engine.run(until=1.0)
+        victims = sched.fail_node("c1")
+        assert victims == [job]
+        assert job.state is JobState.NODE_FAIL
+        assert sched.nodes["c1"].allocations == {}
+
+    def test_failed_node_excluded_from_placement(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.fail_node("c1")
+        job = sched.submit(spec(userdb, ntasks=4), duration=5.0)
+        engine.run()
+        assert job.nodes == ["c2"]
+
+    def test_processes_reaped_on_failure(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        job = sched.submit(spec(userdb, ntasks=3), duration=100.0)
+        engine.run(until=1.0)
+        sched.fail_node("c1")
+        leftovers = [p for p in sched.nodes["c1"].node.procs.processes()
+                     if p.job_id == job.job_id]
+        assert not leftovers
+
+
+class TestRequeue:
+    def _sched(self, userdb, requeue):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.config.requeue_on_node_fail = requeue
+        return engine, sched
+
+    def test_requeue_restarts_on_another_node(self, userdb):
+        engine, sched = self._sched(userdb, requeue=True)
+        job = sched.submit(spec(userdb, ntasks=2), duration=50.0)
+        engine.run(until=1.0)
+        first_node = job.nodes[0]
+        sched.fail_node(first_node)
+        engine.run()
+        assert job.state is JobState.COMPLETED
+        assert job.nodes[0] != first_node
+        assert sched.metrics.report()["jobs_requeued"] == 1
+        assert job.reason == "requeued after node failure"
+
+    def test_no_requeue_by_default(self, userdb):
+        engine, sched = self._sched(userdb, requeue=False)
+        job = sched.submit(spec(userdb, ntasks=2), duration=50.0)
+        engine.run(until=1.0)
+        sched.fail_node(job.nodes[0])
+        engine.run()
+        assert job.state is JobState.NODE_FAIL
+
+    def test_requeued_job_waits_if_no_capacity(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.config.requeue_on_node_fail = True
+        job = sched.submit(spec(userdb), duration=50.0)
+        engine.run(until=1.0)
+        sched.fail_node("c1")
+        engine.run()
+        assert job.state is JobState.PENDING  # only node is dead
+        sched.resume("c1")
+        engine.run()
+        assert job.state is JobState.COMPLETED

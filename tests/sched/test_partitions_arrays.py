@@ -1,0 +1,133 @@
+"""Unit + integration tests: partitions, debug queue, job arrays, and the
+staff load-attribution tool."""
+
+import pytest
+
+from repro import Cluster, LLSC, seepid
+from repro.core.tools import attribute_load
+from repro.kernel.errors import InvalidArgument, NoSuchEntity
+from repro.sched import JobState, NodeSharing, Partition
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(LLSC, n_compute=2, n_debug=2,
+                         users=("alice", "bob"), staff=("sam",))
+
+
+class TestPartitions:
+    def test_default_partition_exists(self, cluster):
+        parts = cluster.scheduler.partitions
+        assert set(parts) == {"normal", "debug"}
+        assert parts["normal"].node_names == ("c1", "c2")
+        assert parts["debug"].node_names == ("d1", "d2")
+
+    def test_unknown_partition_rejected(self, cluster):
+        with pytest.raises(NoSuchEntity):
+            cluster.submit("alice", duration=10.0, partition="gpu")
+
+    def test_debug_time_limit_enforced(self, cluster):
+        with pytest.raises(InvalidArgument):
+            cluster.submit("alice", duration=7200.0, partition="debug")
+        cluster.submit("alice", duration=600.0, partition="debug")
+
+    def test_jobs_stay_inside_their_partition(self, cluster):
+        a = cluster.submit("alice", ntasks=2, duration=50.0)
+        d = cluster.submit("bob", ntasks=1, duration=50.0,
+                           partition="debug")
+        cluster.run(until=1.0)
+        assert set(a.nodes) <= {"c1", "c2"}
+        assert set(d.nodes) <= {"d1", "d2"}
+
+    def test_debug_partition_is_shared_despite_llsc_policy(self, cluster):
+        """The interactive/debug queue runs SHARED even under the
+        whole-node-per-user batch policy — the multi-user nodes the paper
+        says keep needing hidepid."""
+        a = cluster.submit("alice", ntasks=1, duration=100.0,
+                           partition="debug")
+        b = cluster.submit("bob", ntasks=1, duration=100.0,
+                           partition="debug")
+        cluster.run(until=1.0)
+        assert a.state is JobState.RUNNING and b.state is JobState.RUNNING
+        assert a.nodes == b.nodes  # co-resident, by design
+
+    def test_normal_partition_still_whole_node_user(self, cluster):
+        a = cluster.submit("alice", ntasks=1, duration=100.0)
+        b = cluster.submit("bob", ntasks=1, duration=100.0)
+        cluster.run(until=1.0)
+        assert set(a.nodes) != set(b.nodes)
+
+    def test_hidepid_still_protects_debug_nodes(self, cluster):
+        """Defense in depth on the shared partition: co-resident users
+        still cannot see each other's processes."""
+        a = cluster.submit("alice", ntasks=1, duration=100.0,
+                           partition="debug")
+        b = cluster.submit("bob", ntasks=1, duration=100.0,
+                           partition="debug")
+        cluster.run(until=1.0)
+        bshell = cluster.job_session(b)
+        assert all(r.uid == bshell.creds.uid for r in bshell.sys.ps())
+
+    def test_partition_accepts_duration_none_limit(self):
+        p = Partition("x", ("n1",))
+        assert p.accepts_duration(1e12)
+
+
+class TestJobArrays:
+    def test_array_submission(self, cluster):
+        jobs = cluster.submit_array("alice", durations=[10.0, 20.0, 30.0],
+                                    name="sweep")
+        assert len(jobs) == 3
+        assert len({j.array_id for j in jobs}) == 1
+        assert [j.array_index for j in jobs] == [0, 1, 2]
+        cluster.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+
+    def test_array_jobs_lookup(self, cluster):
+        jobs = cluster.submit_array("alice", durations=[5.0] * 4)
+        found = cluster.scheduler.array_jobs(jobs[0].array_id)
+        assert [j.job_id for j in found] == [j.job_id for j in jobs]
+
+    def test_array_elements_pack_under_whole_node_user(self, cluster):
+        jobs = cluster.submit_array("alice", durations=[100.0] * 8)
+        cluster.run(until=1.0)
+        running_nodes = {n for j in jobs
+                         if j.state is JobState.RUNNING for n in j.nodes}
+        assert len(running_nodes) <= 2  # packed onto alice's nodes
+
+    def test_non_array_jobs_have_no_array_id(self, cluster):
+        j = cluster.submit("alice", duration=1.0)
+        assert j.array_id is None and j.array_index is None
+
+
+class TestAttribution:
+    def _load_up(self, cluster):
+        cluster.submit("alice", ntasks=2, duration=500.0)
+        cluster.submit("bob", ntasks=1, duration=500.0)
+        cluster.run(until=1.0)
+
+    def test_plain_staff_sees_nothing_foreign(self, cluster):
+        self._load_up(cluster)
+        sam = cluster.login("sam")
+        report = attribute_load(cluster, sam)
+        # operator status shows *jobs*, but hidepid hides the processes
+        assert all(r["procs"] == 0 for name, r in report.items()
+                   if name != "_aggregate")
+        assert report["alice"]["running_jobs"] == 1
+        # the aggregate hotspot is visible even without seepid
+        assert report["_aggregate"]["running_procs"] >= 3
+
+    def test_seepid_staff_attributes_hotspots(self, cluster):
+        self._load_up(cluster)
+        sam = seepid(cluster, cluster.login("sam"))
+        report = attribute_load(cluster, sam)
+        assert report["alice"]["procs"] == 2
+        assert report["bob"]["procs"] == 1
+        assert report["alice"]["rss_mb"] > 0
+        assert report["alice"]["nodes"]
+
+    def test_regular_user_sees_only_self(self, cluster):
+        self._load_up(cluster)
+        alice = cluster.login("alice")
+        report = attribute_load(cluster, alice)
+        assert set(report) == {"alice", "_aggregate"}

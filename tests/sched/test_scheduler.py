@@ -1,0 +1,269 @@
+"""Unit tests: dispatch, policies, backfill, cancel, OOM blast radius."""
+
+import pytest
+
+from repro.kernel.errors import PermissionError_
+from repro.sched import JobState, NodeSharing
+
+from tests.sched.conftest import build_sched, spec
+
+
+class TestBasicDispatch:
+    def test_single_job_lifecycle(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb), duration=10.0)
+        engine.run()
+        assert job.state is JobState.COMPLETED
+        assert job.start_time == 0.0 and job.end_time == 10.0
+        assert job.wait_time == 0.0
+
+    def test_tasks_spawn_processes(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, ntasks=3), duration=5.0)
+        engine.run(until=1.0)
+        node_procs = [p for n in sched.nodes.values()
+                      for p in n.node.procs.processes()
+                      if p.job_id == job.job_id]
+        assert len(node_procs) == 3
+
+    def test_processes_reaped_at_completion(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, ntasks=2), duration=5.0)
+        engine.run()
+        leftovers = [p for n in sched.nodes.values()
+                     for p in n.node.procs.processes()
+                     if p.job_id == job.job_id]
+        assert not leftovers
+
+    def test_multi_node_spread(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        job = sched.submit(spec(userdb, ntasks=12), duration=1.0)
+        engine.run()
+        assert job.state is JobState.COMPLETED
+        assert len(job.allocations) == 2
+
+    def test_job_waits_for_free_resources(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        first = sched.submit(spec(userdb, ntasks=8), duration=10.0)
+        second = sched.submit(spec(userdb, ntasks=8), duration=10.0)
+        engine.run()
+        assert second.start_time == 10.0
+        assert second.wait_time == 10.0
+
+    def test_too_big_job_never_starts(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        job = sched.submit(spec(userdb, ntasks=9), duration=1.0)
+        engine.run()
+        assert job.state is JobState.PENDING
+
+    def test_memory_constrains_placement(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8, mem_mb=4000)
+        job = sched.submit(spec(userdb, ntasks=4, mem_mb_per_task=2000),
+                           duration=5.0)
+        other = sched.submit(spec(userdb, "bob", ntasks=1,
+                                  mem_mb_per_task=2000), duration=5.0)
+        engine.run()
+        # 4 tasks x 2000MB won't fit in 4000MB: stays pending, despite
+        # plenty of cores; the small job backfills around it
+        assert job.state is JobState.PENDING
+        assert other.state is JobState.COMPLETED
+
+    def test_arrival_in_future(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb), duration=1.0, at=100.0)
+        engine.run()
+        assert job.start_time == 100.0
+
+
+class TestPolicies:
+    def test_shared_mixes_users_on_node(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.SHARED)
+        a = sched.submit(spec(userdb, "alice", ntasks=2), duration=10.0)
+        b = sched.submit(spec(userdb, "bob", ntasks=2), duration=10.0)
+        engine.run(until=1.0)
+        assert a.state is JobState.RUNNING and b.state is JobState.RUNNING
+        assert a.nodes == b.nodes
+
+    def test_whole_node_user_excludes_strangers(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.WHOLE_NODE_USER)
+        a = sched.submit(spec(userdb, "alice", ntasks=2), duration=10.0)
+        b = sched.submit(spec(userdb, "bob", ntasks=2), duration=10.0)
+        engine.run(until=1.0)
+        assert a.state is JobState.RUNNING
+        assert b.state is JobState.PENDING  # node belongs to alice now
+
+    def test_whole_node_user_packs_same_user(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.WHOLE_NODE_USER)
+        a1 = sched.submit(spec(userdb, "alice", ntasks=2), duration=10.0)
+        a2 = sched.submit(spec(userdb, "alice", ntasks=2), duration=10.0)
+        engine.run(until=1.0)
+        assert a1.state is JobState.RUNNING and a2.state is JobState.RUNNING
+        assert a1.nodes == a2.nodes
+
+    def test_whole_node_user_frees_node_after_owner_leaves(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.WHOLE_NODE_USER)
+        a = sched.submit(spec(userdb, "alice", ntasks=1), duration=5.0)
+        b = sched.submit(spec(userdb, "bob", ntasks=1), duration=5.0)
+        engine.run()
+        assert b.start_time == 5.0
+        assert b.state is JobState.COMPLETED
+
+    def test_exclusive_one_job_per_node(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.EXCLUSIVE)
+        a1 = sched.submit(spec(userdb, "alice", ntasks=1), duration=10.0)
+        a2 = sched.submit(spec(userdb, "alice", ntasks=1), duration=10.0)
+        engine.run(until=1.0)
+        assert a1.state is JobState.RUNNING
+        assert a2.state is JobState.PENDING  # even same user: per-job exclusive
+
+    def test_exclusive_charges_whole_node(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.EXCLUSIVE)
+        a = sched.submit(spec(userdb, ntasks=1), duration=10.0)
+        engine.run(until=1.0)
+        assert a.allocations[0].cores == 8
+
+    def test_per_job_exclusive_flag_under_shared(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.SHARED)
+        a = sched.submit(spec(userdb, "alice", ntasks=1, exclusive=True),
+                         duration=10.0)
+        b = sched.submit(spec(userdb, "alice", ntasks=1), duration=10.0)
+        engine.run(until=1.0)
+        assert a.state is JobState.RUNNING
+        assert b.state is JobState.PENDING
+
+
+class TestBackfill:
+    def test_backfill_lets_small_job_jump(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8, backfill=True)
+        blocker = sched.submit(spec(userdb, "alice", ntasks=6), duration=10.0)
+        wide = sched.submit(spec(userdb, "bob", ntasks=8), duration=5.0)
+        small = sched.submit(spec(userdb, "carol", ntasks=2), duration=2.0)
+        engine.run()
+        assert small.start_time == 0.0  # backfilled around the wide job
+
+    def test_no_backfill_strict_fifo(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8, backfill=False)
+        blocker = sched.submit(spec(userdb, "alice", ntasks=6), duration=10.0)
+        wide = sched.submit(spec(userdb, "bob", ntasks=8), duration=5.0)
+        small = sched.submit(spec(userdb, "carol", ntasks=2), duration=2.0)
+        engine.run()
+        assert small.start_time >= 10.0  # waited behind the wide job
+
+
+class TestCancel:
+    def test_owner_cancels_pending(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        blocker = sched.submit(spec(userdb, "alice", ntasks=8), duration=10.0)
+        waiting = sched.submit(spec(userdb, "bob", ntasks=8), duration=10.0)
+        engine.run(until=1.0)
+        sched.cancel(waiting, by=userdb.user("bob"))
+        assert waiting.state is JobState.CANCELLED
+
+    def test_owner_cancels_running(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, "alice"), duration=10.0)
+        engine.run(until=2.0)
+        sched.cancel(job, by=userdb.user("alice"))
+        assert job.state is JobState.CANCELLED
+        assert job.end_time == 2.0
+
+    def test_stranger_cannot_cancel(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, "alice"), duration=10.0)
+        engine.run(until=1.0)
+        with pytest.raises(PermissionError_):
+            sched.cancel(job, by=userdb.user("bob"))
+        assert job.state is JobState.RUNNING
+
+    def test_root_can_cancel(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, "alice"), duration=10.0)
+        engine.run(until=1.0)
+        sched.cancel(job, by=userdb.user("root"))
+        assert job.state is JobState.CANCELLED
+
+
+class TestPamSlurmIntegration:
+    def test_user_has_job_on(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        job = sched.submit(spec(userdb, "alice", ntasks=1), duration=10.0)
+        engine.run(until=1.0)
+        node = job.nodes[0]
+        other = next(n for n in sched.nodes if n != node)
+        assert sched.user_has_job_on(job.uid, node)
+        assert not sched.user_has_job_on(job.uid, other)
+        assert not sched.user_has_job_on(userdb.user("bob").uid, node)
+
+    def test_presence_expires_with_job(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1)
+        job = sched.submit(spec(userdb, "alice"), duration=5.0)
+        engine.run()
+        assert not sched.user_has_job_on(job.uid, job.nodes[0])
+
+
+class TestOomBlastRadius:
+    def test_shared_node_oom_kills_innocents(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.SHARED)
+        bomb = sched.submit(spec(userdb, "alice", ntasks=1, oom_bomb=True),
+                            duration=10.0)
+        victim = sched.submit(spec(userdb, "bob", ntasks=1), duration=20.0)
+        engine.run()
+        assert bomb.state is JobState.FAILED
+        assert victim.state is JobState.NODE_FAIL
+        assert sched.metrics.report()["innocent_job_failures"] == 1
+
+    def test_whole_node_user_contains_blast(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8,
+                                    policy=NodeSharing.WHOLE_NODE_USER)
+        bomb = sched.submit(spec(userdb, "alice", ntasks=1, oom_bomb=True),
+                            duration=10.0)
+        victim = sched.submit(spec(userdb, "bob", ntasks=1), duration=20.0)
+        engine.run()
+        assert bomb.state is JobState.FAILED
+        assert victim.state is JobState.COMPLETED
+        assert "innocent_job_failures" not in sched.metrics.report()
+
+    def test_oom_kills_own_sibling_jobs_on_node(self, userdb):
+        """Blast radius is contained to the *user*, not to the job: the
+        bomber's own co-resident job still dies."""
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8,
+                                    policy=NodeSharing.WHOLE_NODE_USER)
+        bomb = sched.submit(spec(userdb, "alice", ntasks=1, oom_bomb=True),
+                            duration=10.0)
+        sibling = sched.submit(spec(userdb, "alice", ntasks=1), duration=20.0)
+        engine.run()
+        assert sibling.state is JobState.NODE_FAIL
+
+
+class TestUtilizationAccounting:
+    def test_utilization_exact(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.submit(spec(userdb, ntasks=4), duration=10.0)
+        engine.run(until=20.0)
+        # 4 cores busy for 10s of a 20s horizon over 8 cores = 0.25
+        assert sched.utilization(20.0) == pytest.approx(0.25)
+
+    def test_accounting_records_core_seconds(self, userdb):
+        engine, sched = build_sched(userdb)
+        job = sched.submit(spec(userdb, ntasks=2), duration=10.0)
+        engine.run()
+        rec = sched.accounting.all_records()[0]
+        assert rec.core_seconds == pytest.approx(20.0)
+        assert rec.state is JobState.COMPLETED
+
+    def test_wait_time_samples(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.submit(spec(userdb, ntasks=8), duration=10.0)
+        sched.submit(spec(userdb, ntasks=8), duration=10.0)
+        engine.run()
+        summary = sched.metrics.report()["wait_time"]
+        assert summary["n"] == 2
+        assert summary["max"] == pytest.approx(10.0)

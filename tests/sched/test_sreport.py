@@ -1,0 +1,77 @@
+"""Unit tests: usage summaries (sreport) and their PrivateData gating."""
+
+import numpy as np
+import pytest
+
+from repro import Cluster, LLSC
+from repro.sched.accounting import usage_summary
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster.build(LLSC, n_compute=4, users=("alice", "bob"),
+                      staff=("sam",))
+    c.submit("alice", ntasks=4, duration=100.0, at=0.0)
+    c.submit("alice", ntasks=2, duration=50.0, at=200.0)
+    c.submit("bob", ntasks=1, duration=300.0, at=0.0)
+    c.run(until=1000.0)
+    return c
+
+
+class TestUsageSummary:
+    def test_totals_match_accounting(self, cluster):
+        recs = cluster.scheduler.accounting.all_records()
+        summary = usage_summary(recs, t_end=1000.0)
+        assert summary.by_user["alice"] == pytest.approx(4 * 100 + 2 * 50)
+        assert summary.by_user["bob"] == pytest.approx(300.0)
+        assert summary.jobs_by_user == {"alice": 2, "bob": 1}
+
+    def test_series_sums_to_total(self, cluster):
+        recs = cluster.scheduler.accounting.all_records()
+        summary = usage_summary(recs, t_end=1000.0, n_buckets=7)
+        for user, series in summary.series.items():
+            assert series.sum() == pytest.approx(summary.by_user[user])
+            assert series.shape == (7,)
+
+    def test_bucket_placement(self, cluster):
+        recs = cluster.scheduler.accounting.all_records()
+        summary = usage_summary(recs, t_end=1000.0, n_buckets=10)
+        # alice's first job ran [0,100): entirely in bucket 0
+        assert summary.series["alice"][0] == pytest.approx(400.0)
+        # her second job [200,250): bucket 2
+        assert summary.series["alice"][2] == pytest.approx(100.0)
+        # nothing after t=300 for anyone
+        assert all(summary.series[u][4:].sum() == 0
+                   for u in summary.series)
+
+    def test_job_spanning_buckets_split_proportionally(self, cluster):
+        recs = cluster.scheduler.accounting.all_records()
+        summary = usage_summary(recs, t_end=1000.0, n_buckets=10)
+        # bob's job [0,300) at 1 core: 100 core-s per 100-s bucket
+        assert np.allclose(summary.series["bob"][:3], [100.0] * 3)
+
+    def test_top_users(self, cluster):
+        recs = cluster.scheduler.accounting.all_records()
+        summary = usage_summary(recs, t_end=1000.0)
+        assert summary.top_users(1) == [("alice", pytest.approx(500.0))]
+
+    def test_empty_records(self):
+        summary = usage_summary([], t_end=10.0)
+        assert summary.by_user == {}
+
+
+class TestSreportGating:
+    def test_plain_user_sees_only_self(self, cluster):
+        summary = cluster.scheduler_view.sreport(cluster.user("bob"),
+                                                 t_end=1000.0)
+        assert set(summary.by_user) == {"bob"}
+
+    def test_operator_sees_fleet(self, cluster):
+        summary = cluster.scheduler_view.sreport(cluster.user("sam"),
+                                                 t_end=1000.0)
+        assert set(summary.by_user) == {"alice", "bob"}
+
+    def test_root_sees_fleet(self, cluster):
+        summary = cluster.scheduler_view.sreport(cluster.user("root"),
+                                                 t_end=1000.0)
+        assert set(summary.by_user) == {"alice", "bob"}

@@ -1,0 +1,196 @@
+"""Unit tests: sbatch/scancel/scontrol command-line front-end."""
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import InvalidArgument
+from repro.sched import JobState
+from repro.shell.slurm_cli import (
+    parse_array,
+    parse_mem,
+    parse_time,
+    sbatch,
+    scancel,
+    scontrol_show_job,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(LLSC, n_compute=2, n_debug=1, gpus_per_node=2,
+                         users=("alice", "bob"), staff=("sam",))
+
+
+class TestParsers:
+    @pytest.mark.parametrize("spec,want", [
+        ("30", 1800.0), ("10:30", 630.0), ("2:10:30", 7830.0),
+        ("1-2:10:30", 94230.0), ("1-12", 129600.0), ("1-12:30", 131400.0),
+        ("0-0:0:59", 59.0),
+    ])
+    def test_time_specs(self, spec, want):
+        assert parse_time(spec) == want
+
+    def test_bad_time(self):
+        with pytest.raises(InvalidArgument):
+            parse_time("abc")
+
+    @pytest.mark.parametrize("spec,want", [
+        ("500", 500), ("500M", 500), ("2G", 2048), ("2g", 2048),
+    ])
+    def test_mem_specs(self, spec, want):
+        assert parse_mem(spec) == want
+
+    def test_bad_mem(self):
+        with pytest.raises(InvalidArgument):
+            parse_mem("2T")
+
+    @pytest.mark.parametrize("spec,want", [
+        ("0-4", [0, 1, 2, 3, 4]), ("1,3,7", [1, 3, 7]),
+        ("0-3%2", [0, 1, 2, 3]), ("5", [5]),
+    ])
+    def test_array_specs(self, spec, want):
+        assert parse_array(spec) == want
+
+    def test_bad_array_range(self):
+        with pytest.raises(InvalidArgument):
+            parse_array("5-1")
+
+
+class TestSbatch:
+    def test_full_option_line(self, cluster):
+        alice = cluster.login("alice")
+        out, jobs = sbatch(
+            alice,
+            "-J climate -n 4 -c 2 --mem-per-cpu 2G --gres=gpu:1 "
+            "-t 1:00:00 ./model --resolution fine")
+        job = jobs[0]
+        assert out == f"Submitted batch job {job.job_id}"
+        assert job.spec.name == "climate"
+        assert job.spec.ntasks == 4
+        assert job.spec.cores_per_task == 2
+        assert job.spec.mem_mb_per_task == 2048
+        assert job.spec.gpus_per_task == 1
+        assert job.duration == 3600.0
+        assert job.spec.command == "./model --resolution fine"
+        cluster.run()
+        assert job.state is JobState.COMPLETED
+
+    def test_equals_style_options(self, cluster):
+        alice = cluster.login("alice")
+        _, jobs = sbatch(alice, "--job-name=x --ntasks=2 --time=30 ./a")
+        assert jobs[0].spec.name == "x"
+        assert jobs[0].spec.ntasks == 2
+        assert jobs[0].duration == 1800.0
+
+    def test_partition_and_limit(self, cluster):
+        alice = cluster.login("alice")
+        with pytest.raises(InvalidArgument):
+            sbatch(alice, "-p debug -t 2:00:00 ./long")  # over debug limit
+        _, jobs = sbatch(alice, "-p debug -t 30 ./quick")
+        assert jobs[0].spec.partition == "debug"
+
+    def test_array_submission(self, cluster):
+        alice = cluster.login("alice")
+        out, jobs = sbatch(alice, "--array=0-3 -t 10 ./sweep.sh")
+        assert len(jobs) == 4
+        assert "array of 4" in out
+        assert [j.array_index for j in jobs] == [0, 1, 2, 3]
+
+    def test_unsupported_option(self, cluster):
+        alice = cluster.login("alice")
+        with pytest.raises(InvalidArgument):
+            sbatch(alice, "--begin=now+1hour ./x")
+
+    def test_exclusive_flag(self, cluster):
+        alice = cluster.login("alice")
+        _, jobs = sbatch(alice, "--exclusive -t 10 ./solo")
+        assert jobs[0].spec.exclusive
+
+
+class TestScancelScontrol:
+    def test_owner_cancel(self, cluster):
+        alice = cluster.login("alice")
+        _, jobs = sbatch(alice, "-t 60 ./x")
+        cluster.run(until=1.0)
+        assert scancel(alice, jobs[0].job_id) == ""
+        assert jobs[0].state is JobState.CANCELLED
+
+    def test_foreign_cancel_gets_invalid_id(self, cluster):
+        """PrivateData: the stranger is told the id doesn't exist, not
+        that it's someone else's."""
+        alice = cluster.login("alice")
+        bob = cluster.login("bob")
+        _, jobs = sbatch(alice, "-t 60 ./x")
+        cluster.run(until=1.0)
+        out = scancel(bob, jobs[0].job_id)
+        assert "Invalid job id" in out
+        assert jobs[0].state is JobState.RUNNING
+
+    def test_scontrol_own_job(self, cluster):
+        alice = cluster.login("alice")
+        _, jobs = sbatch(alice, "-J secret-run -n 2 -t 60 ./go")
+        cluster.run(until=1.0)
+        out = scontrol_show_job(alice, jobs[0].job_id)
+        assert "JobName=secret-run" in out
+        assert "JobState=RUNNING" in out
+        assert "NumTasks=2" in out
+        assert f"StdOut=/home/alice/slurm-{jobs[0].job_id}.out" in out
+
+    def test_scontrol_foreign_job_hidden(self, cluster):
+        alice = cluster.login("alice")
+        bob = cluster.login("bob")
+        _, jobs = sbatch(alice, "-J secret-run -t 60 ./go")
+        cluster.run(until=1.0)
+        out = scontrol_show_job(bob, jobs[0].job_id)
+        assert "Invalid job id" in out
+        assert "secret-run" not in out
+
+    def test_scontrol_operator_sees_all(self, cluster):
+        alice = cluster.login("alice")
+        sam = cluster.login("sam")
+        _, jobs = sbatch(alice, "-J audit-me -t 60 ./go")
+        cluster.run(until=1.0)
+        out = scontrol_show_job(sam, jobs[0].job_id)
+        assert "JobName=audit-me" in out
+
+    def test_scontrol_array_fields(self, cluster):
+        alice = cluster.login("alice")
+        _, jobs = sbatch(alice, "--array=0-1 -t 10 ./s")
+        out = scontrol_show_job(alice, jobs[1].job_id)
+        assert f"ArrayJobId={jobs[1].array_id}" in out
+        assert "ArrayTaskId=1" in out
+
+
+class TestScontrolShowNode:
+    def test_states_and_capacity(self, cluster):
+        from repro.shell import scontrol_show_node
+        alice = cluster.login("alice")
+        out = scontrol_show_node(alice, "c1")
+        assert "NodeName=c1 State=IDLE" in out
+        assert "CPUTot=16 CPUAlloc=0" in out
+        sbatch(alice, "-n 4 -t 60 ./x")
+        cluster.run(until=1.0)
+        busy = [n for n in ("c1", "c2")
+                if "MIXED" in scontrol_show_node(alice, n)
+                or "ALLOCATED" in scontrol_show_node(alice, n)]
+        assert busy
+        cluster.scheduler.drain("c2")
+        assert "State=DRAIN" in scontrol_show_node(alice, "c2")
+        cluster.scheduler.fail_node("c1")
+        assert "State=DOWN" in scontrol_show_node(alice, "c1")
+
+    def test_alloc_users_gated(self, cluster):
+        from repro.shell import scontrol_show_node
+        alice = cluster.login("alice")
+        sbatch(alice, "-n 2 -t 60 ./x")
+        cluster.run(until=1.0)
+        node = cluster.scheduler.running()[0].nodes[0]
+        assert "AllocUsers" not in scontrol_show_node(
+            cluster.login("bob"), node)
+        sam_out = scontrol_show_node(cluster.login("sam"), node)
+        assert "AllocUsers=alice" in sam_out
+
+    def test_unknown_node(self, cluster):
+        from repro.shell import scontrol_show_node
+        assert "not found" in scontrol_show_node(cluster.login("alice"),
+                                                 "zz9")

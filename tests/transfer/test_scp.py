@@ -1,0 +1,127 @@
+"""Unit + integration tests: scp over the fabric (PAM + UBF + DAC)."""
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import AccessDenied, NoSuchEntity
+from repro.transfer import RemoteSpec, TransferResult, scp
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(LLSC, n_compute=2, n_dtn=1,
+                         users=("alice", "bob"))
+
+
+class TestSpecParsing:
+    def test_remote_spec(self):
+        s = RemoteSpec.parse("dtn1:/scratch/data.bin")
+        assert s.host == "dtn1" and s.path == "/scratch/data.bin"
+        assert s.render() == "dtn1:/scratch/data.bin"
+
+    def test_local_spec(self):
+        s = RemoteSpec.parse("/home/alice/x")
+        assert s.host is None
+        assert s.render() == "/home/alice/x"
+
+    def test_absolute_path_with_colon_is_local(self):
+        assert RemoteSpec.parse("/home/a:b").host is None
+
+
+class TestTransfers:
+    def test_local_to_dtn(self, cluster):
+        alice = cluster.login("alice")
+        alice.sys.create("/tmp/results.csv", mode=0o600, data=b"a,b,c")
+        res = scp(cluster, alice, "/tmp/results.csv",
+                  "dtn1:/tmp/results.csv")
+        assert res == TransferResult("/tmp/results.csv",
+                                     "dtn1:/tmp/results.csv", 5)
+        dtn = cluster.node("dtn1")
+        assert dtn.vfs.read("/tmp/results.csv", alice.creds) == b"a,b,c"
+
+    def test_remote_to_local(self, cluster):
+        alice = cluster.login("alice")
+        dtn = cluster.node("dtn1")
+        dtn.vfs.create("/tmp/incoming.dat", alice.creds, mode=0o600,
+                       data=b"payload")
+        scp(cluster, alice, "dtn1:/tmp/incoming.dat", "/tmp/incoming.dat")
+        assert alice.sys.open_read("/tmp/incoming.dat") == b"payload"
+
+    def test_remote_to_remote(self, cluster):
+        """Through-client copy dtn1 -> compute node (with a running job)."""
+        alice = cluster.login("alice")
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        dtn = cluster.node("dtn1")
+        dtn.vfs.create("/tmp/model.pt", alice.creds, mode=0o600,
+                       data=b"weights")
+        target = job.nodes[0]
+        res = scp(cluster, alice, "dtn1:/tmp/model.pt",
+                  f"{target}:/tmp/model.pt")
+        assert res.bytes_moved == 7
+        node = cluster.node(target)
+        assert node.vfs.read("/tmp/model.pt", alice.creds) == b"weights"
+
+    def test_overwrite_existing(self, cluster):
+        alice = cluster.login("alice")
+        alice.sys.create("/tmp/f", mode=0o600, data=b"v1")
+        scp(cluster, alice, "/tmp/f", "dtn1:/tmp/f")
+        alice.sys.open_write("/tmp/f", b"v2-longer")
+        scp(cluster, alice, "/tmp/f", "dtn1:/tmp/f")
+        dtn = cluster.node("dtn1")
+        assert dtn.vfs.read("/tmp/f", alice.creds) == b"v2-longer"
+
+    def test_home_is_shared_so_scp_matches(self, cluster):
+        """Copying within the shared /home is trivially consistent."""
+        alice = cluster.login("alice")
+        alice.sys.create("/home/alice/a.txt", mode=0o600, data=b"x")
+        scp(cluster, alice, "/home/alice/a.txt", "dtn1:/home/alice/b.txt")
+        assert alice.sys.open_read("/home/alice/b.txt") == b"x"
+
+
+class TestSecurityGates:
+    def test_cannot_fetch_foreign_file(self, cluster):
+        """The remote side runs as the authenticated user: DAC applies."""
+        alice = cluster.login("alice")
+        alice.sys.create("/home/alice/secret", mode=0o600, data=b"s")
+        bob = cluster.login("bob")
+        with pytest.raises(AccessDenied):
+            scp(cluster, bob, "dtn1:/home/alice/secret", "/tmp/loot")
+
+    def test_scp_to_compute_requires_job(self, cluster):
+        """pam_slurm gates the transfer exactly like interactive ssh."""
+        alice = cluster.login("alice")
+        alice.sys.create("/tmp/f", mode=0o600, data=b"x")
+        with pytest.raises(AccessDenied):
+            scp(cluster, alice, "/tmp/f", "c1:/tmp/f")
+        job = cluster.submit("alice", duration=100.0)
+        cluster.run(until=1.0)
+        res = scp(cluster, alice, "/tmp/f", f"{job.nodes[0]}:/tmp/f")
+        assert res.bytes_moved == 1
+
+    def test_dtn_exempt_from_pam_slurm(self, cluster):
+        """DTNs are multi-user transfer endpoints: no job required."""
+        bob = cluster.login("bob")
+        bob.sys.create("/tmp/up.bin", mode=0o600, data=b"u")
+        scp(cluster, bob, "/tmp/up.bin", "dtn1:/tmp/up.bin")
+
+    def test_missing_source(self, cluster):
+        alice = cluster.login("alice")
+        with pytest.raises(NoSuchEntity):
+            scp(cluster, alice, "dtn1:/tmp/nope", "/tmp/x")
+
+    def test_smask_applies_to_transferred_files(self, cluster):
+        """A file scp'd with mode 666 lands without world bits."""
+        alice = cluster.login("alice")
+        alice.sys.create("/tmp/f", mode=0o600, data=b"x")
+        scp(cluster, alice, "/tmp/f", "dtn1:/tmp/g", mode=0o666)
+        dtn = cluster.node("dtn1")
+        st = dtn.vfs.stat("/tmp/g", alice.creds)
+        assert st.mode & 0o007 == 0
+
+    def test_transfer_traffic_counted(self, cluster):
+        alice = cluster.login("alice")
+        alice.sys.create("/tmp/f", mode=0o600, data=b"z" * 100)
+        before = cluster.metrics.report().get("packets_sent", 0)
+        scp(cluster, alice, "/tmp/f", "dtn1:/tmp/f")
+        assert cluster.metrics.report()["packets_sent"] > before

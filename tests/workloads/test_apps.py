@@ -1,0 +1,117 @@
+"""Integration tests: the canned application library end-to-end."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import AccessDenied, TimedOut
+from repro.sched import JobState
+from repro.workloads.apps import (
+    collect_sweep_results,
+    serve_pending,
+    submit_monte_carlo_pi,
+    submit_service,
+    submit_sweep,
+    submit_training,
+)
+
+
+@pytest.fixture
+def cluster():
+    return Cluster.build(LLSC, n_compute=4, gpus_per_node=1,
+                         users=("alice", "bob"))
+
+
+class TestMonteCarloPi:
+    def test_estimate_written_and_plausible(self, cluster):
+        job = submit_monte_carlo_pi(cluster, "alice", samples=200_000,
+                                    seed=7)
+        cluster.run()
+        assert job.state is JobState.COMPLETED
+        alice = cluster.login("alice")
+        text = alice.sys.open_read("/home/alice/pi-estimate.txt").decode()
+        pi_hat = float(text.split()[0])
+        assert abs(pi_hat - np.pi) < 0.05
+        out = alice.sys.open_read(job.stdout_path).decode()
+        assert "pi ~=" in out
+
+    def test_deterministic_given_seed(self, cluster):
+        j1 = submit_monte_carlo_pi(cluster, "alice", seed=3)
+        j2 = submit_monte_carlo_pi(cluster, "bob", seed=3)
+        cluster.run()
+        a = cluster.login("alice").sys.open_read("/home/alice/pi-estimate.txt")
+        b = cluster.login("bob").sys.open_read("/home/bob/pi-estimate.txt")
+        assert a == b
+
+    def test_result_private(self, cluster):
+        submit_monte_carlo_pi(cluster, "alice")
+        cluster.run()
+        bob = cluster.login("bob")
+        with pytest.raises(AccessDenied):
+            bob.sys.open_read("/home/alice/pi-estimate.txt")
+
+
+class TestSweep:
+    def test_sweep_results_collected(self, cluster):
+        params = [0.5, 1.0, 1.5, 2.0]
+        jobs = submit_sweep(cluster, "alice", parameters=params)
+        cluster.run()
+        assert all(j.state is JobState.COMPLETED for j in jobs)
+        results = collect_sweep_results(cluster, "alice")
+        assert results.shape == (4, 3)
+        assert np.allclose(results[:, 1], params)
+        # sin^2 integral over [0, 2pi] ~ pi for integer frequencies
+        assert abs(results[1, 2] - np.pi) < 0.01
+        assert abs(results[3, 2] - np.pi) < 0.01
+
+    def test_empty_collection(self, cluster):
+        assert collect_sweep_results(cluster, "alice").shape == (0, 3)
+
+
+class TestService:
+    def test_owner_roundtrip(self, cluster):
+        job = submit_service(cluster, "alice", port=7777,
+                             payload=b"hello v0")
+        cluster.run(until=1.0)
+        alice = cluster.login("alice")
+        conn = alice.socket().connect(job.nodes[0], 7777)
+        conn.send(b"GET /")
+        assert serve_pending(job) == 1
+        assert conn.recv() == b"hello v0"
+
+    def test_stranger_blocked(self, cluster):
+        job = submit_service(cluster, "alice", port=7777)
+        cluster.run(until=1.0)
+        bob = cluster.login("bob")
+        with pytest.raises(TimedOut):
+            bob.socket().connect(job.nodes[0], 7777)
+        assert serve_pending(job) == 0
+
+
+class TestTraining:
+    def test_checkpoint_converges(self, cluster):
+        run = submit_training(cluster, "alice", steps=100, seed=5)
+        cluster.run()
+        assert run.job.state is JobState.COMPLETED
+        alice = cluster.login("alice")
+        w = pickle.loads(alice.sys.open_read(run.checkpoint_path))
+        target = np.random.default_rng(5).standard_normal(16)
+        assert np.allclose(w, target, atol=1e-3)
+
+    def test_gpu_residue_scrubbed_by_epilog(self, cluster):
+        run = submit_training(cluster, "alice", duration=10.0)
+        cluster.run(until=1.0)
+        node = cluster.compute(run.job.nodes[0])
+        idx = run.job.allocations[0].gpu_indices[0]
+        assert node.gpu(idx).dirty  # weights resident during the job
+        cluster.run()
+        assert not node.gpu(idx).dirty  # epilog scrubbed
+
+    def test_stdout_reports_loss(self, cluster):
+        run = submit_training(cluster, "alice", steps=100)
+        cluster.run()
+        out = cluster.login("alice").sys.open_read(
+            run.job.stdout_path).decode()
+        assert "final loss" in out

@@ -1,0 +1,94 @@
+"""Unit tests: job generators and multi-user traces."""
+
+import numpy as np
+import pytest
+
+from repro.sim import make_rng
+from repro.workloads import (
+    UserProfile,
+    build_trace,
+    monte_carlo_jobs,
+    mpi_jobs,
+    submit_all,
+    sweep_jobs,
+)
+
+from tests.sched.conftest import build_sched
+
+
+class TestGenerators:
+    def test_sweep_shape(self, userdb):
+        reqs = sweep_jobs(userdb.user("alice"), make_rng(1), n_jobs=50,
+                          horizon=1000.0)
+        assert len(reqs) == 50
+        assert all(r.spec.ntasks == 1 for r in reqs)
+        assert all(0 <= r.arrival < 1000.0 for r in reqs)
+        assert all(r.duration >= 1.0 for r in reqs)
+        arr = [r.arrival for r in reqs]
+        assert arr == sorted(arr)
+
+    def test_sweep_deterministic(self, userdb):
+        a = sweep_jobs(userdb.user("alice"), make_rng(7), n_jobs=10,
+                       horizon=100.0)
+        b = sweep_jobs(userdb.user("alice"), make_rng(7), n_jobs=10,
+                       horizon=100.0)
+        assert [r.arrival for r in a] == [r.arrival for r in b]
+        assert [r.duration for r in a] == [r.duration for r in b]
+
+    def test_monte_carlo_within_horizon(self, userdb):
+        reqs = monte_carlo_jobs(userdb.user("bob"), make_rng(2), n_jobs=30,
+                                horizon=500.0)
+        assert all(r.arrival < 500.0 for r in reqs)
+
+    def test_mpi_width(self, userdb):
+        reqs = mpi_jobs(userdb.user("carol"), make_rng(3), n_jobs=5,
+                        horizon=1000.0, ntasks=16)
+        assert all(r.spec.ntasks == 16 for r in reqs)
+        assert all(r.duration >= 10.0 for r in reqs)
+
+    def test_submit_all_runs(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=4, cores=8)
+        reqs = sweep_jobs(userdb.user("alice"), make_rng(4), n_jobs=20,
+                          horizon=100.0, mean_duration=10.0)
+        jobs = submit_all(sched, reqs)
+        engine.run()
+        assert all(j.state.finished for j in jobs)
+
+
+class TestTraces:
+    def _profiles(self, userdb):
+        return [
+            UserProfile(userdb.user("alice"), "sweep", weight=2.0),
+            UserProfile(userdb.user("bob"), "mc", weight=1.0),
+            UserProfile(userdb.user("carol"), "mpi", weight=1.0),
+        ]
+
+    def test_offered_load_tracks_target(self, userdb):
+        trace = build_trace(self._profiles(userdb), make_rng(5),
+                            horizon=10_000.0, total_cores=64, load=0.5)
+        capacity = 64 * 10_000.0
+        offered = trace.total_core_seconds / capacity
+        assert 0.25 < offered < 0.9  # stochastic but in the right regime
+
+    def test_higher_load_more_work(self, userdb):
+        lo = build_trace(self._profiles(userdb), make_rng(5),
+                         horizon=5000.0, total_cores=64, load=0.3)
+        hi = build_trace(self._profiles(userdb), make_rng(5),
+                         horizon=5000.0, total_cores=64, load=0.9)
+        assert hi.total_core_seconds > lo.total_core_seconds * 2
+
+    def test_sorted_by_arrival(self, userdb):
+        trace = build_trace(self._profiles(userdb), make_rng(6),
+                            horizon=1000.0, total_cores=32, load=0.5)
+        arr = [r.arrival for r in trace.sorted()]
+        assert arr == sorted(arr)
+
+    def test_unknown_kind_rejected(self, userdb):
+        with pytest.raises(ValueError):
+            build_trace([UserProfile(userdb.user("alice"), "weird")],
+                        make_rng(1), horizon=10.0, total_cores=8, load=0.5)
+
+    def test_empty_profiles(self):
+        trace = build_trace([], make_rng(1), horizon=10.0, total_cores=8,
+                            load=0.5)
+        assert trace.requests == []

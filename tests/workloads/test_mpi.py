@@ -1,0 +1,125 @@
+"""Unit + integration tests: simulated MPI over the (UBF-governed) fabric."""
+
+import numpy as np
+import pytest
+
+from repro.kernel.errors import InvalidArgument, TimedOut
+from repro.workloads import MPICommunicator
+
+from tests.net.conftest import build_fabric, proc_on
+
+
+def make_comm(userdb, usernames, *, ubf: bool, size=None):
+    """One rank per entry of *usernames* (cycled over 3 hosts)."""
+    hosts = ["c1", "c2", "c3"]
+    fabric, nodes, _ = build_fabric(userdb, hosts, ubf=ubf)
+    tasks = []
+    for i, uname in enumerate(usernames):
+        host = hosts[i % len(hosts)]
+        tasks.append((nodes[host], proc_on(nodes, host, userdb, uname,
+                                           argv=("mpi-rank", str(i)))))
+    return MPICommunicator(fabric, tasks)
+
+
+class TestPointToPoint:
+    def test_send_recv_roundtrip(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 4, ubf=True)
+        comm.send({"x": 1}, src=0, dest=3)
+        assert comm.recv(source=0, dest=3) == {"x": 1}
+
+    def test_numpy_payload(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 2, ubf=True)
+        a = np.arange(100, dtype=np.float64)
+        comm.send(a, src=0, dest=1)
+        out = comm.recv(source=0, dest=1)
+        assert np.array_equal(out, a)
+
+    def test_channels_cached(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 2, ubf=True)
+        comm.send(1, src=0, dest=1)
+        comm.recv(source=0, dest=1)
+        comm.send(2, src=0, dest=1)
+        assert comm.recv(source=0, dest=1) == 2
+        assert comm.fabric.metrics.report()["connects_established"] == 1
+
+    def test_empty_communicator_rejected(self, userdb):
+        from repro.net import Fabric
+        with pytest.raises(InvalidArgument):
+            MPICommunicator(Fabric(), [])
+
+
+class TestCollectives:
+    def test_bcast(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 4, ubf=True)
+        out = comm.bcast([1, 2, 3], root=0)
+        assert out == [[1, 2, 3]] * 4
+
+    def test_scatter(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        out = comm.scatter(["a", "b", "c"], root=0)
+        assert out == ["a", "b", "c"]
+
+    def test_scatter_wrong_arity(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        with pytest.raises(InvalidArgument):
+            comm.scatter(["a", "b"], root=0)
+
+    def test_gather(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        out = comm.gather([10, 20, 30], root=0)
+        assert out == [10, 20, 30]
+
+    def test_allgather(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        assert comm.allgather([1, 2, 3]) == [1, 2, 3]
+
+    def test_allreduce_sum(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 4, ubf=True)
+        arrays = [np.full(8, float(r)) for r in range(4)]
+        out = comm.allreduce(arrays)
+        assert np.array_equal(out, np.full(8, 6.0))
+
+    def test_allreduce_max(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        arrays = [np.array([1.0, 5.0]), np.array([4.0, 2.0]),
+                  np.array([3.0, 3.0])]
+        out = comm.allreduce(arrays, op=np.maximum)
+        assert np.array_equal(out, np.array([4.0, 5.0]))
+
+    def test_barrier(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 3, ubf=True)
+        comm.barrier()  # must simply not raise / deadlock
+
+    def test_single_rank_barrier(self, userdb):
+        comm = make_comm(userdb, ["alice"], ubf=True)
+        comm.barrier()
+
+
+class TestUbfInteraction:
+    def test_same_user_mpi_unaffected_by_ubf(self, userdb):
+        """The headline compatibility claim: a normal (single-user) MPI job
+        runs identically with and without the UBF."""
+        for ubf in (False, True):
+            comm = make_comm(userdb, ["alice"] * 4, ubf=ubf)
+            out = comm.allreduce([np.ones(4) for _ in range(4)])
+            assert np.array_equal(out, np.full(4, 4.0))
+
+    def test_cross_user_rank_blocked(self, userdb):
+        """A 'job' whose ranks run as different users (i.e. an attack
+        masquerading as MPI) cannot wire its channels under the UBF."""
+        comm = make_comm(userdb, ["alice", "bob"], ubf=True)
+        with pytest.raises(TimedOut):
+            comm.send(b"x", src=0, dest=1)
+
+    def test_cross_user_rank_allowed_without_ubf(self, userdb):
+        comm = make_comm(userdb, ["alice", "bob"], ubf=False)
+        comm.send(b"x", src=0, dest=1)
+        assert comm.recv(source=0, dest=1) == b"x"
+
+    def test_close_releases_ports(self, userdb):
+        comm = make_comm(userdb, ["alice"] * 2, ubf=True)
+        comm.send(1, src=0, dest=1)
+        comm.close()
+        comm2 = make_comm(userdb, ["alice"] * 2, ubf=True)
+        comm2.send(2, src=0, dest=1)
+        assert comm2.recv(source=0, dest=1) == 2
