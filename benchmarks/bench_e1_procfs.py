@@ -11,7 +11,6 @@ Series printed: visibility matrix — rows (viewer kind), columns
 (hidepid 0/1/2) — of how many distinct uids each viewer can observe.
 """
 
-import pytest
 
 from repro import Cluster, LLSC, ablate, seepid
 from repro.kernel.errors import KernelError

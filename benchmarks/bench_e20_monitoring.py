@@ -14,7 +14,6 @@ escalations (seepid/smask_relax) leave an audit trail.
 from repro import Cluster, LLSC
 from repro.kernel.errors import KernelError
 from repro.monitor import (
-    EventKind,
     audited_seepid,
     audited_session,
     detect_probe_patterns,

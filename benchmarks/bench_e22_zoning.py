@@ -19,7 +19,7 @@ wait.  (The administrative cost — a zone assignment per project vs nothing
 — mirrors E17's ticket count and is reported alongside.)
 """
 
-from repro import Cluster, LLSC, ablate
+from repro import Cluster, LLSC
 from repro.sched import JobState, Partition
 from repro.sim import make_rng
 from repro.workloads import sweep_jobs

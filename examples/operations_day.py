@@ -5,14 +5,18 @@ denial telemetry — the staff-side view of enhanced user separation.
 Walks the workflows Sections IV-A/IV-C/IV-G give to support staff:
 
 1. sam publishes a site software stack (smask_relax + environment modules);
-2. alice moves data through a DTN and onto her job's compute node (scp
-   across PAM + UBF + DAC);
+2. alice moves data through a DTN and onto her GPU job's compute node (scp
+   across PAM + UBF + DAC), then serves a notebook through the portal;
 3. mallory probes the system and lights up the security event log;
 4. sam, with seepid, attributes the load and reads the probe alert;
-5. the quarterly container-hygiene sweep finds the litter.
+5. the quarterly container-hygiene sweep finds the litter;
+6. the day's telemetry is exported: a JSONL event/span file, a
+   Prometheus-format metrics dump, and the ops dashboard.
 
 Run:  python examples/operations_day.py
 """
+
+from pathlib import Path
 
 from repro import Cluster, LLSC
 from repro.containers import (
@@ -32,17 +36,21 @@ from repro.monitor import (
     detect_probe_patterns,
     instrument_cluster,
 )
+from repro.obs import attach_telemetry, ops_dashboard
+from repro.portal import launch_webapp
 from repro.shell import module_avail_cmd, sinfo_cmd
 from repro.transfer import scp
 
 DAY = 86_400.0
+OUT = Path(__file__).resolve().parent / "out"
 
 
 def main() -> None:
     cluster = Cluster.build(
-        LLSC, n_compute=4, n_debug=1, n_dtn=1,
+        LLSC, n_compute=4, n_debug=1, n_dtn=1, gpus_per_node=1,
         users=("alice", "bob", "mallory"), staff=("sam",))
     log = instrument_cluster(cluster)
+    telemetry = attach_telemetry(cluster)
 
     print("== cluster shape ==")
     print(sinfo_cmd(cluster))
@@ -67,17 +75,27 @@ def main() -> None:
     alice.sys.create("/tmp/training-set.bin", mode=0o600, data=b"D" * 4096)
     res1 = scp(cluster, alice, "/tmp/training-set.bin",
                "dtn1:/scratch/training-set.bin")
-    job = cluster.submit("alice", name="train", duration=1000.0)
+    job = cluster.submit("alice", name="train", duration=1000.0,
+                         gpus_per_task=1)
     cluster.run(until=1.0)
     res2 = scp(cluster, alice, "dtn1:/scratch/training-set.bin",
                f"{job.nodes[0]}:/tmp/training-set.bin")
     print(f"  staged {res1.bytes_moved}B to DTN, {res2.bytes_moved}B to "
-          f"{job.nodes[0]} (job {job.job_id} running there)")
+          f"{job.nodes[0]} (job {job.job_id} running there, 1 GPU granted)")
     try:
         scp(cluster, cluster.login("bob"),
             "dtn1:/scratch/training-set.bin", "/tmp/loot")
     except KernelError as e:
         print(f"  bob tries to fetch it from the DTN -> BLOCKED {e.errname}")
+
+    print("\n== alice serves a notebook through the portal ==")
+    shell = cluster.job_session(job)
+    app = launch_webapp(shell.node, shell.process, 8888, "train-notebook")
+    cluster.portal.register(app)
+    psession = cluster.portal.login("alice")
+    page = cluster.portal.connect(psession.token, app.app_id)
+    print(f"  portal forwarded {len(page)}B from "
+          f"{app.node.name}:{app.port} as alice")
 
     # ----------------------------------------------------- 3. the probe
     print("\n== mallory goes probing ==")
@@ -94,6 +112,14 @@ def main() -> None:
             cluster.ssh("mallory", node)
         except KernelError:
             pass
+    try:  # straight at alice's notebook port — UBF drops it
+        mallory.socket().connect(app.node.name, 8888)
+    except KernelError:
+        pass
+    try:  # ... and through the portal with a forged token
+        cluster.portal.connect("tok-forged", app.app_id)
+    except KernelError:
+        pass
     print(f"  {len(log.events)} denial events recorded")
 
     # ----------------------------------------------------- 4. staff response
@@ -127,7 +153,20 @@ def main() -> None:
           f"({rep['reclaimable_bytes']}B reclaimable), "
           f"oldest: {rep['oldest']}")
 
-    print("\nOperations day complete.")
+    # ----------------------------------------------------- 6. observability
+    print("\n== exporting the day's telemetry ==")
+    OUT.mkdir(exist_ok=True)
+    jsonl_path = OUT / "operations_day.jsonl"
+    lines = telemetry.export_jsonl(str(jsonl_path))
+    prom_path = OUT / "operations_day.prom"
+    prom_path.write_text(telemetry.prometheus())
+    print(f"  {lines} event/span records -> {jsonl_path}")
+    print(f"  {len(prom_path.read_text().splitlines())} metric lines "
+          f"-> {prom_path}")
+    print()
+    print(ops_dashboard(cluster))
+
+    print("Operations day complete.")
 
 
 if __name__ == "__main__":

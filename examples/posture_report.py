@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Generate the sponsor-facing security posture report (Markdown).
 
-Combines the four evidence sources — deployed configuration, fleet
-compliance audit, the 33-probe adversarial battery, and live denial
-telemetry — into one document, for both the LLSC and BASELINE presets so
-the contrast is visible.
+Combines the evidence sources — deployed configuration, fleet compliance
+audit, the 33-probe adversarial battery — into one document, then appends
+the live ops dashboard (``repro.obs.dashboard``): enforcement metrics,
+probe alerts, and per-user denial posture, all drawn from the same
+telemetry registry the benchmarks consume.
 
 Run:  python examples/posture_report.py            # prints LLSC report
       python examples/posture_report.py baseline   # ... the stock cluster
@@ -16,12 +17,14 @@ from repro import BASELINE, LLSC, run_battery
 from repro.core import check_compliance, posture_report, standard_cluster
 from repro.kernel.errors import KernelError
 from repro.monitor import audited_session, instrument_cluster
+from repro.obs import attach_telemetry, ops_dashboard
 
 
 def main() -> None:
     config = BASELINE if "baseline" in sys.argv[1:] else LLSC
     cluster = standard_cluster(config)
     log = instrument_cluster(cluster)
+    attach_telemetry(cluster)
 
     # generate a little real activity (and telemetry)
     cluster.submit("alice", ntasks=2, duration=100.0)
@@ -35,6 +38,7 @@ def main() -> None:
     audit = run_battery(config)
     compliance = check_compliance(cluster)
     print(posture_report(cluster, audit=audit, compliance=compliance))
+    print(ops_dashboard(cluster))
 
 
 if __name__ == "__main__":

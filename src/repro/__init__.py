@@ -17,8 +17,6 @@ Quick start::
 See README.md and EXPERIMENTS.md.
 """
 
-__version__ = "1.0.0"
-
 from repro.core import (  # noqa: F401
     ALL_ATTACKS,
     AuditReport,
@@ -35,6 +33,8 @@ from repro.core import (  # noqa: F401
     standard_cluster,
 )
 from repro.kernel import UserDB  # noqa: F401
+
+__version__ = "1.0.0"
 
 __all__ = [
     "ALL_ATTACKS", "AuditReport", "BASELINE", "Cluster", "LLSC",

@@ -27,7 +27,6 @@ from dataclasses import dataclass
 from repro.kernel.errors import PermissionError_
 from repro.kernel.node import LinuxNode, ROOT_CREDS
 from repro.kernel.process import Process
-from repro.kernel.smask import FilePermissionHandler
 from repro.kernel.syscalls import SyscallInterface
 from repro.kernel.vfs import VFS, FileKind, Filesystem
 from repro.containers.image import ContainerImage

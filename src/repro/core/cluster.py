@@ -89,6 +89,10 @@ class Cluster:
     seepid_group: Group | None = None
     workstations: dict[str, LinuxNode] = field(default_factory=dict)
     dtn_nodes: list[LinuxNode] = field(default_factory=list)
+    #: observability registry; set by repro.obs.attach_telemetry.  When
+    #: present, new sessions get a counting syscall façade (allow/deny
+    #: telemetry) — behaviour is unchanged either way.
+    telemetry: "object | None" = None
 
     # ------------------------------------------------------------------ build
 
@@ -274,7 +278,16 @@ class Cluster:
         creds = node.open_session(user)
         proc = node.procs.spawn(creds, ["-bash"])
         return Session(cluster=self, user=user, node=node,
-                       sys=SyscallInterface(node, proc))
+                       sys=self._facade(node, proc))
+
+    def _facade(self, node: LinuxNode, proc) -> SyscallInterface:
+        """The syscall façade for one process; counted when telemetry is
+        attached (same interface, same outcomes)."""
+        sys = SyscallInterface(node, proc)
+        if self.telemetry is not None:
+            from repro.obs.telemetry import ObservedSyscalls
+            return ObservedSyscalls(sys, self.telemetry.metrics)
+        return sys
 
     def node(self, name: str) -> LinuxNode:
         for n in self.login_nodes + self.dtn_nodes + [self.portal_node]:
@@ -343,4 +356,4 @@ class Cluster:
             creds = creds.with_smask(self.config.smask)
         proc = node.procs.spawn(creds, ["job-shell"], job_id=job.job_id)
         return Session(cluster=self, user=job.spec.user, node=node,
-                       sys=SyscallInterface(node, proc))
+                       sys=self._facade(node, proc))

@@ -21,7 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.cluster import Cluster
 from repro.core.config import SeparationConfig
 from repro.kernel.node import LinuxNode, ROOT_CREDS
-from repro.kernel.pam import PamSlurm, PamSmask
+from repro.kernel.pam import PamSmask
 from repro.net.firewall import Verdict
 from repro.sched.prolog_epilog import GPU_MODE_ASSIGNED, GPU_MODE_UNASSIGNED, gpu_dev_path
 

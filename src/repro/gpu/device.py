@@ -16,6 +16,7 @@ steps the LLSC epilog runs) clears it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
@@ -30,6 +31,11 @@ class GPUDevice:
     registers: np.ndarray = field(init=False)
     last_user_uid: int | None = None
     scrub_count: int = 0
+    #: observability hook: called as ``(creds, path)`` when the VFS refuses
+    #: an open of this device's /dev file (wired by
+    #: :func:`repro.monitor.wiring.instrument_cluster` to emit GPU_DENY)
+    deny_hook: Callable | None = field(default=None, repr=False,
+                                       compare=False)
 
     def __post_init__(self):
         self.memory = np.zeros(self.mem_bytes, dtype=np.uint8)
@@ -50,6 +56,15 @@ class GPUDevice:
         """Map device memory: returns whatever is resident — including a
         previous user's data if nobody scrubbed."""
         return self.memory.tobytes()
+
+    def on_access_denied(self, creds, path: str) -> None:
+        """VFS callback: DAC refused an open of this device's /dev file.
+
+        Purely observational — the refusal has already been decided; this
+        only forwards it to whatever monitoring is attached.
+        """
+        if self.deny_hook is not None:
+            self.deny_hook(creds, path)
 
     # -- direct (driver-level) operations ------------------------------------
 

@@ -470,11 +470,21 @@ class VFS:
 
     # -- data i/o ----------------------------------------------------------
 
+    def _device_deny(self, inode, creds: Credentials, path: str) -> None:
+        """Observability hook: a device file refused an open.  Devices may
+        expose ``on_access_denied`` (e.g. GPUs reporting GPU_DENY); the
+        refusal itself is already decided — this never changes it."""
+        if inode.kind is FileKind.DEVICE and inode.device is not None:
+            notify = getattr(inode.device, "on_access_denied", None)
+            if notify is not None:
+                notify(creds, path)
+
     def read(self, path: str, creds: Credentials) -> bytes:
         inode = self.resolve(path, creds)
         if inode.is_dir:
             raise IsADirectory(path)
         if not check_access(inode, creds, R_OK):
+            self._device_deny(inode, creds, path)
             raise AccessDenied(f"read denied: {path!r}")
         inode.atime = self.clock()
         if inode.kind is FileKind.DEVICE and inode.device is not None:
@@ -489,6 +499,7 @@ class VFS:
         if inode.is_dir:
             raise IsADirectory(path)
         if not check_access(inode, creds, W_OK):
+            self._device_deny(inode, creds, path)
             raise AccessDenied(f"write denied: {path!r}")
         inode.mtime = self.clock()
         if inode.kind is FileKind.DEVICE and inode.device is not None:

@@ -13,7 +13,7 @@ command is a shell function for the same reason).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.kernel.errors import (
     AccessDenied,

@@ -30,6 +30,8 @@ class EventKind(enum.Enum):
     FS_DENY = "fs-deny"
     PROC_DENY = "proc-deny"
     SCHED_DENY = "sched-deny"
+    GPU_DENY = "gpu-deny"        # refused open of a GPU /dev character file
+    PORTAL_DENY = "portal-deny"  # portal request refused (auth failure)
     ADMIN = "admin"  # seepid/smask_relax invocations (escalation audit)
 
 
@@ -64,6 +66,12 @@ class SecurityEventLog:
         return [e for e in self.events if e.kind is kind]
 
     def window(self, start: float, end: float) -> list[SecurityEvent]:
+        """Events in the half-open interval ``[start, end)``.
+
+        Half-open is the module-wide convention (shared with
+        :func:`detect_probe_patterns`): adjacent windows tile the timeline
+        with no event counted twice.
+        """
         return [e for e in self.events if start <= e.time < end]
 
     def counts(self) -> dict[EventKind, int]:
@@ -92,13 +100,19 @@ def detect_probe_patterns(log: SecurityEventLog, *,
 
     A legitimate user fat-fingers the *same* path or port a few times; a
     scanner touches *many distinct targets*.  Both thresholds must be met.
-    ``window`` restricts to the trailing interval ending at ``now``.
+    ``window`` restricts to the trailing interval ending at ``now``, using
+    the same half-open ``[now - window, now)`` convention as
+    :meth:`SecurityEventLog.window`.  When ``now`` is omitted the window is
+    anchored at the newest event (which is then included: the trailing
+    interval ``[last - window, ∞)``).
     """
     events = log.events
     if window is not None:
-        end = now if now is not None else max(
-            (e.time for e in events), default=0.0)
-        events = [e for e in events if end - window <= e.time <= end]
+        if now is not None:
+            events = log.window(now - window, now)
+        else:
+            last = max((e.time for e in events), default=0.0)
+            events = [e for e in events if e.time >= last - window]
     per_subject: dict[int, list[SecurityEvent]] = defaultdict(list)
     for e in events:
         if e.kind is not EventKind.ADMIN:

@@ -9,26 +9,41 @@
   :func:`audited_session`) emits FS/PROC denials for the calls user code
   makes through it;
 * the seepid/smask_relax tools emit ADMIN escalation records when invoked
-  through :func:`audited_seepid` / :func:`audited_smask_relax`.
+  through :func:`audited_seepid` / :func:`audited_smask_relax`;
+* every GPU device's deny hook emits :data:`EventKind.GPU_DENY` when the
+  VFS refuses an open of its ``/dev`` character file;
+* the portal emits :data:`EventKind.PORTAL_DENY` on refused requests.
 
 Instrumentation is additive — enforcement behaviour is unchanged; only
-observations are recorded.
+observations are recorded.  ``instrument_cluster`` is idempotent: calling
+it again returns the already-attached log instead of double-wrapping the
+enforcement points (which would emit duplicate events).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
-from repro.core.cluster import Cluster, Session
-from repro.core import tools as _tools
 from repro.kernel.errors import AccessDenied, KernelError, NoSuchProcess, PermissionError_
 from repro.kernel.pam import PamSlurm
-from repro.monitor.events import EventKind, SecurityEvent, SecurityEventLog
+from repro.monitor.events import EventKind, SecurityEventLog
 from repro.net.firewall import Verdict
+
+if TYPE_CHECKING:  # imported lazily at runtime to avoid a cycle (the
+    # portal, which core.cluster builds, reports events through this layer)
+    from repro.core.cluster import Cluster, Session
 
 
 def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
-    """Attach a log; returns it (also stored as ``cluster.security_log``)."""
+    """Attach a log; returns it (also stored as ``cluster.security_log``).
+
+    Idempotent: a second call returns the existing log unchanged, so the
+    UBF daemons and PAM stacks are never wrapped twice.
+    """
+    existing = getattr(cluster, "security_log", None)
+    if existing is not None:
+        return existing
     log = SecurityEventLog()
     cluster.security_log = log  # type: ignore[attr-defined]
 
@@ -65,6 +80,24 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
 
                 # dataclass instances: bind per-instance override
                 object.__setattr__(module, "account", account)
+
+    # GPU /dev denials: arm each device's deny hook (the VFS calls it when
+    # DAC refuses an open; see GPUDevice.on_access_denied)
+    for cn in cluster.compute_nodes:
+        for gpu in cn.gpus:
+            def gpu_deny(creds, path, _node=cn.node.name):
+                log.emit(cluster.engine.now, EventKind.GPU_DENY,
+                         creds.uid, f"{_node}:{path}",
+                         "gpu device open refused")
+            gpu.deny_hook = gpu_deny
+
+    # portal denials: the gateway emits PORTAL_DENY through this log
+    cluster.portal.event_log = log
+
+    # an already-attached Telemetry gets the event stream too
+    telemetry = getattr(cluster, "telemetry", None)
+    if telemetry is not None and telemetry.events is None:
+        telemetry.events = log
     return log
 
 
@@ -106,6 +139,7 @@ def audited_session(session: Session,
 
 def audited_seepid(cluster: Cluster, session: Session) -> Session:
     """seepid with an ADMIN escalation audit record."""
+    from repro.core import tools as _tools
     result = _tools.seepid(cluster, session)
     getattr(cluster, "security_log").emit(
         cluster.engine.now, EventKind.ADMIN, session.creds.uid,
@@ -116,6 +150,7 @@ def audited_seepid(cluster: Cluster, session: Session) -> Session:
 def audited_smask_relax(cluster: Cluster, session: Session,
                         **kw) -> Session:
     """smask_relax with an ADMIN escalation audit record."""
+    from repro.core import tools as _tools
     result = _tools.smask_relax(cluster, session, **kw)
     getattr(cluster, "security_log").emit(
         cluster.engine.now, EventKind.ADMIN, session.creds.uid,

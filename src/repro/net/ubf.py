@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.kernel.users import UserDB
-from repro.net.firewall import Packet, Proto, Verdict
+from repro.net.firewall import Packet, Verdict
 from repro.net.ident import IdentService, remote_ident_query
 from repro.net.stack import Fabric, HostStack
 
@@ -53,6 +53,8 @@ class UBFDaemon:
     fabric: Fabric
     userdb: UserDB
     cache_enabled: bool = True
+    #: optional span source (repro.obs.trace.Tracer); None = no tracing cost
+    tracer: object | None = None
     log: list[UBFDecisionLog] = field(default_factory=list)
     _cache: dict[tuple[int, int, int], Verdict] = field(default_factory=dict)
 
@@ -63,6 +65,18 @@ class UBFDaemon:
     # -- decision ---------------------------------------------------------------
 
     def decide(self, pkt: Packet) -> Verdict:
+        if self.tracer is None:
+            return self._decide(pkt)
+        span = self.tracer.start_span(
+            "ubf.decide", host=self.stack.hostname,
+            src=f"{pkt.flow.src_host}:{pkt.flow.src_port}",
+            dst=f"{pkt.flow.dst_host}:{pkt.flow.dst_port}")
+        verdict = self._decide(pkt)
+        self.tracer.finish(span, verdict=verdict.value,
+                           reason=self.log[-1].reason)
+        return verdict
+
+    def _decide(self, pkt: Packet) -> Verdict:
         flow = pkt.flow
         local_ident = IdentService(self.stack)
         listener = local_ident.query_local(flow.proto, flow.dst_port)
@@ -112,6 +126,9 @@ class UBFDaemon:
                   f"{pkt.flow.src_port}->{pkt.flow.dst_host}:{pkt.flow.dst_port}"),
             initiator_uid=iu, listener_uid=lu, listener_egid=lg,
             verdict=verdict, reason=reason))
+        self.fabric.metrics.counter("ubf_verdicts_total",
+                                    verdict=verdict.value,
+                                    reason=reason).inc()
         if verdict is Verdict.DROP:
             self.fabric.metrics.counter("ubf_denials").inc()
         return verdict

@@ -1,0 +1,34 @@
+"""Observability spine: tracing spans, cluster telemetry, exporters and the
+operations dashboard.
+
+The enforcement side of the paper (:mod:`repro.kernel`, :mod:`repro.net`,
+:mod:`repro.sched`, ...) blocks cross-user actions; this package is the
+*watching* side — "system monitoring" is one of the SuperCloud
+cross-ecosystem innovations the paper's introduction lists, and the
+CVE-2020-27746 week was reconstructed from the UBF/PAM logs.  Layout:
+
+* :mod:`repro.obs.trace` — lightweight span contexts over the sim clock;
+* :mod:`repro.obs.telemetry` — the cluster-level registry that threads the
+  tracer and labeled metrics through every enforcement point;
+* :mod:`repro.obs.export` — JSONL (events + spans) and Prometheus text
+  exposition writers;
+* :mod:`repro.obs.dashboard` — the merged ops report (metrics, probe
+  alerts, per-user denial posture).
+"""
+
+from repro.obs.dashboard import denial_posture, ops_dashboard
+from repro.obs.export import (
+    event_lines,
+    export_jsonl,
+    prometheus_text,
+    span_lines,
+)
+from repro.obs.telemetry import ObservedSyscalls, Telemetry, attach_telemetry
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "Span", "Tracer",
+    "ObservedSyscalls", "Telemetry", "attach_telemetry",
+    "event_lines", "export_jsonl", "prometheus_text", "span_lines",
+    "denial_posture", "ops_dashboard",
+]

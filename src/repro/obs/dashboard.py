@@ -1,0 +1,199 @@
+"""The ops dashboard: one report merging metrics, alerts, and posture.
+
+Operations staff in the paper watch three things at once: what the
+enforcement points are deciding (metrics), who is probing (the
+:func:`~repro.monitor.events.detect_probe_patterns` heuristic over the
+security event log), and what each principal's denial history looks like
+(the per-user posture the CVE-2020-27746 reconstruction needed).
+:func:`ops_dashboard` renders all three as one Markdown document from live
+objects, so the view can never drift from the system it describes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from repro.monitor.events import (
+    EventKind,
+    SecurityEventLog,
+    detect_probe_patterns,
+)
+
+#: (section label, metric family) pairs the enforcement table walks, in
+#: paper-area order.
+_ENFORCEMENT_FAMILIES = (
+    ("syscall façade", "syscalls_total"),
+    ("UBF", "ubf_verdicts_total"),
+    ("PAM", "pam_decisions_total"),
+    ("scheduler", "jobs_submitted"),
+    ("scheduler", "jobs_started"),
+    ("scheduler", "sched_queue_depth"),
+    ("GPU", "gpu_grants_total"),
+    ("GPU", "gpu_scrubs_total"),
+    ("portal", "portal_requests_total"),
+)
+
+
+def _md_table(header: list[str], rows: list[list[object]]) -> str:
+    out = ["| " + " | ".join(header) + " |",
+           "|" + "|".join("---" for _ in header) + "|"]
+    for r in rows:
+        out.append("| " + " | ".join(str(c) for c in r) + " |")
+    return "\n".join(out)
+
+
+def _series_label(metric) -> str:
+    if not metric.labels:
+        return metric.name
+    inner = ", ".join(f"{k}={v}" for k, v in metric.labels)
+    return f"{metric.name} ({inner})"
+
+
+def _username(userdb, uid: int) -> str:
+    if uid < 0:
+        return "(unauthenticated)"
+    if userdb is None:
+        return str(uid)
+    try:
+        return userdb.user(uid).name
+    except Exception:
+        return str(uid)
+
+
+def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
+    """Per-principal denial summary rows, noisiest first.
+
+    Each row: ``user``, ``uid``, ``denials``, ``kinds`` (kind → count),
+    ``distinct_targets``, ``first``/``last`` event times.  ADMIN escalation
+    records are excluded (they are audit, not denial).
+    """
+    per_uid: dict[int, list] = defaultdict(list)
+    for e in log.events:
+        if e.kind is not EventKind.ADMIN:
+            per_uid[e.subject_uid].append(e)
+    rows = []
+    for uid, evs in per_uid.items():
+        kinds: dict[str, int] = defaultdict(int)
+        for e in evs:
+            kinds[e.kind.value] += 1
+        rows.append({
+            "user": _username(userdb, uid),
+            "uid": uid,
+            "denials": len(evs),
+            "kinds": dict(sorted(kinds.items())),
+            "distinct_targets": len({e.target for e in evs}),
+            "first": min(e.time for e in evs),
+            "last": max(e.time for e in evs),
+        })
+    return sorted(rows, key=lambda r: (-r["denials"], r["uid"]))
+
+
+def ops_dashboard(cluster, *, window: float | None = None,
+                  now: float | None = None, min_denials: int = 5,
+                  min_distinct_targets: int = 3) -> str:
+    """Render the operations dashboard for *cluster* (Markdown).
+
+    Works with whatever is attached: metrics are always available; the
+    security-event sections appear once
+    :func:`~repro.monitor.wiring.instrument_cluster` has run, and the trace
+    section once :func:`~repro.obs.telemetry.attach_telemetry` has.
+    ``window``/``now`` scope the probe-alert scan (half-open
+    ``[now - window, now)``, the module-wide convention).
+    """
+    cfg = cluster.config
+    metrics = cluster.metrics
+    lines = [f"# Ops dashboard — configuration '{cfg.name}'", ""]
+    lines.append(
+        f"Virtual time {cluster.engine.now:g}s · "
+        f"{len(cluster.login_nodes)} login / "
+        f"{len(cluster.compute_nodes)} compute / "
+        f"{len(cluster.dtn_nodes)} dtn nodes · "
+        f"queue depth {int(metrics.gauge('sched_queue_depth').value)} · "
+        f"{len(cluster.scheduler.running())} jobs running")
+    lines.append("")
+
+    # -- enforcement metrics -----------------------------------------------
+    lines += ["## Enforcement metrics", ""]
+    rows: list[list[object]] = []
+    seen: set[int] = set()
+    for area, family in _ENFORCEMENT_FAMILIES:
+        for metric in sorted(metrics.family(family),
+                             key=lambda m: (m.name, m.labels)):
+            if id(metric) in seen:
+                continue
+            seen.add(id(metric))
+            rows.append([area, _series_label(metric), int(metric.value)])
+    if rows:
+        lines.append(_md_table(["area", "series", "value"], rows))
+    else:
+        lines.append("No enforcement metrics recorded yet.")
+    lines.append("")
+    wait = metrics.samples("wait_time").summary()
+    if wait["n"]:
+        lines.append(
+            f"Scheduler wait (s): n={wait['n']} mean={wait['mean']:.1f} "
+            f"p50={wait['p50']:.1f} p95={wait['p95']:.1f} "
+            f"p99={wait['p99']:.1f} max={wait['max']:.1f}")
+        lines.append("")
+
+    # -- security events ---------------------------------------------------
+    log = getattr(cluster, "security_log", None)
+    lines += ["## Security events", ""]
+    if log is None:
+        lines.append("Event log not attached (run `instrument_cluster`).")
+        lines.append("")
+    else:
+        counts = log.counts()
+        if counts:
+            lines.append(_md_table(
+                ["event kind", "count"],
+                [[k.value, v] for k, v in sorted(
+                    counts.items(), key=lambda kv: kv[0].value)]))
+        else:
+            lines.append("No security events recorded.")
+        lines.append("")
+
+        # -- probe alerts --------------------------------------------------
+        lines += ["## Probe alerts", ""]
+        alerts = detect_probe_patterns(
+            log, min_denials=min_denials,
+            min_distinct_targets=min_distinct_targets,
+            window=window, now=now)
+        if alerts:
+            lines.append(_md_table(
+                ["user", "denials", "distinct targets", "kinds",
+                 "active (s)"],
+                [[_username(cluster.userdb, a.subject_uid), a.denials,
+                  a.distinct_targets, "+".join(a.kinds),
+                  f"{a.first_time:g}–{a.last_time:g}"] for a in alerts]))
+        else:
+            lines.append("No probe-like activity detected.")
+        lines.append("")
+
+        # -- per-user posture ----------------------------------------------
+        lines += ["## Per-user denial posture", ""]
+        posture = denial_posture(log, cluster.userdb)
+        if posture:
+            lines.append(_md_table(
+                ["user", "denials", "by kind", "distinct targets"],
+                [[r["user"], r["denials"],
+                  ", ".join(f"{k}:{v}" for k, v in r["kinds"].items()),
+                  r["distinct_targets"]] for r in posture]))
+        else:
+            lines.append("No denials recorded for any principal.")
+        lines.append("")
+
+    # -- traces ------------------------------------------------------------
+    telemetry = getattr(cluster, "telemetry", None)
+    if telemetry is not None and telemetry.tracer.spans:
+        lines += ["## Trace activity", ""]
+        by_name: dict[str, list[float]] = defaultdict(list)
+        for s in telemetry.tracer.finished_spans():
+            by_name[s.name].append(s.duration)
+        lines.append(_md_table(
+            ["span", "count", "mean duration (s)"],
+            [[name, len(ds), f"{sum(ds) / len(ds):.3f}"]
+             for name, ds in sorted(by_name.items())]))
+        lines.append("")
+
+    return "\n".join(lines).rstrip() + "\n"

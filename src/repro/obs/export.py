@@ -1,0 +1,171 @@
+"""Telemetry exporters: JSONL (events + spans) and Prometheus text format.
+
+Two consumers, two formats:
+
+* **JSONL** — one JSON object per line, for offline reconstruction of an
+  incident week the way the paper's staff replayed the UBF/PAM logs for
+  CVE-2020-27746.  Security events carry ``{"type": "event", ...}``, spans
+  ``{"type": "span", ...}``; a single file can interleave both (sorted by
+  time) and still be grep-able per type.
+
+* **Prometheus text exposition** — the ``# TYPE`` + sample-line format, so
+  a run's :class:`~repro.sim.metrics.MetricSet` can be dumped where real
+  deployments would let a scraper collect it.  Output is deterministically
+  ordered (family name, then label set), which keeps golden-file tests and
+  diffs stable.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from typing import IO, Iterable, Iterator
+
+from repro.monitor.events import SecurityEvent, SecurityEventLog
+from repro.obs.trace import Span, Tracer
+from repro.sim.metrics import Counter, Gauge, Histogram, LabelSet, MetricSet
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def event_to_dict(event: SecurityEvent) -> dict[str, object]:
+    return {
+        "type": "event",
+        "time": event.time,
+        "kind": event.kind.value,
+        "subject_uid": event.subject_uid,
+        "target": event.target,
+        "detail": event.detail,
+    }
+
+
+def span_to_dict(span: Span) -> dict[str, object]:
+    return {"type": "span", **span.to_dict()}
+
+
+def event_lines(log: SecurityEventLog) -> Iterator[str]:
+    """One compact JSON line per recorded security event."""
+    for e in log.events:
+        yield json.dumps(event_to_dict(e), separators=(",", ":"))
+
+
+def span_lines(tracer: Tracer, *, finished_only: bool = True) -> Iterator[str]:
+    """One compact JSON line per span (open spans skipped by default)."""
+    for s in tracer.spans:
+        if finished_only and s.end is None:
+            continue
+        yield json.dumps(span_to_dict(s), separators=(",", ":"))
+
+
+def export_jsonl(sink: str | IO[str], *,
+                 events: SecurityEventLog | None = None,
+                 tracer: Tracer | None = None) -> int:
+    """Write events and/or spans to *sink* (path or text file object).
+
+    Records are merged in time order (events by ``time``, spans by
+    ``start``) so the file reads as one chronological stream.  Returns the
+    number of lines written.
+    """
+    records: list[tuple[float, str]] = []
+    if events is not None:
+        for e, line in zip(events.events, event_lines(events)):
+            records.append((e.time, line))
+    if tracer is not None:
+        for s in tracer.spans:
+            if s.end is None:
+                continue
+            records.append(
+                (s.start, json.dumps(span_to_dict(s),
+                                     separators=(",", ":"))))
+    records.sort(key=lambda r: r[0])
+    if isinstance(sink, str):
+        with open(sink, "w") as fh:
+            for _, line in records:
+                fh.write(line + "\n")
+    else:
+        for _, line in records:
+            sink.write(line + "\n")
+    return len(records)
+
+
+# -- Prometheus text exposition --------------------------------------------
+
+
+def _san(name: str) -> str:
+    return _NAME_RE.sub("_", name)
+
+
+def _esc(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _labels(labels: LabelSet, extra: tuple[tuple[str, str], ...] = ()) -> str:
+    pairs = tuple(labels) + tuple(extra)
+    if not pairs:
+        return ""
+    return "{" + ",".join(f'{_san(k)}="{_esc(v)}"' for k, v in pairs) + "}"
+
+
+def _num(v: float) -> str:
+    if isinstance(v, bool):  # pragma: no cover - defensive
+        return str(int(v))
+    if isinstance(v, int) or (isinstance(v, float) and v.is_integer()
+                              and abs(v) < 1e15):
+        return str(int(v))
+    if math.isinf(v):
+        return "+Inf" if v > 0 else "-Inf"
+    return format(v, ".10g")
+
+
+def _bound(b: float) -> str:
+    return "+Inf" if math.isinf(b) else format(b, "g")
+
+
+def prometheus_text(metrics: MetricSet) -> str:
+    """Render *metrics* in the Prometheus text exposition format.
+
+    Counters and gauges emit one sample line per labeled series; histograms
+    emit cumulative ``_bucket{le=...}`` lines plus ``_sum``/``_count``;
+    :class:`~repro.sim.metrics.Samples` sets emit summary quantiles
+    (0.5/0.95/0.99) plus ``_sum``/``_count``.  Families and series are
+    sorted, so equal inputs render byte-identically.
+    """
+    lines: list[str] = []
+
+    def family(items: Iterable[Counter | Gauge | Histogram]):
+        fams: dict[str, list] = {}
+        for m in items:
+            fams.setdefault(m.name, []).append(m)
+        for name in sorted(fams):
+            yield name, sorted(fams[name], key=lambda m: m.labels)
+
+    for name, series in family(metrics.all_counters()):
+        lines.append(f"# TYPE {_san(name)} counter")
+        for c in series:
+            lines.append(f"{_san(name)}{_labels(c.labels)} {_num(c.value)}")
+    for name, series in family(metrics.all_gauges()):
+        lines.append(f"# TYPE {_san(name)} gauge")
+        for g in series:
+            lines.append(f"{_san(name)}{_labels(g.labels)} {_num(g.value)}")
+    for name, series in family(metrics.all_histograms()):
+        lines.append(f"# TYPE {_san(name)} histogram")
+        for h in series:
+            for bound, cum in h.cumulative():
+                lines.append(
+                    f"{_san(name)}_bucket"
+                    f"{_labels(h.labels, (('le', _bound(bound)),))} {cum}")
+            lines.append(f"{_san(name)}_sum{_labels(h.labels)} "
+                         f"{_num(h.sum)}")
+            lines.append(f"{_san(name)}_count{_labels(h.labels)} "
+                         f"{h.count}")
+    for s in sorted(metrics.all_samples(), key=lambda s: s.name):
+        summary = s.summary()
+        lines.append(f"# TYPE {_san(s.name)} summary")
+        for q, key in (("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")):
+            lines.append(f"{_san(s.name)}{{quantile=\"{q}\"}} "
+                         f"{_num(summary[key])}")
+        lines.append(f"{_san(s.name)}_sum {_num(float(sum(s.values)))}")
+        lines.append(f"{_san(s.name)}_count {summary['n']}")
+    return "\n".join(lines) + ("\n" if lines else "")

@@ -28,9 +28,10 @@ import secrets
 from dataclasses import dataclass, field
 from typing import Callable
 
-from repro.kernel.errors import AccessDenied, NoSuchEntity
+from repro.kernel.errors import AccessDenied, NoSuchEntity, TimedOut
 from repro.kernel.node import LinuxNode
 from repro.kernel.users import User, UserDB
+from repro.monitor.events import EventKind
 from repro.net.stack import Fabric
 from repro.portal.webapp import WebApp
 
@@ -54,6 +55,11 @@ class Portal:
     session_ttl: float | None = None
     #: time source; the cluster wires this to the simulation clock
     clock: "Callable[[], float]" = staticmethod(lambda: 0.0)
+    #: observability (both optional, wired by repro.monitor / repro.obs):
+    #: denied requests are emitted here as EventKind.PORTAL_DENY
+    event_log: object | None = None
+    #: span source (repro.obs.trace.Tracer) for request forwarding
+    tracer: object | None = None
     _routes: dict[int, WebApp] = field(default_factory=dict)
     _sessions: dict[str, PortalSession] = field(default_factory=dict)
     _rng_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
@@ -97,6 +103,16 @@ class Portal:
 
     # -- forwarding ------------------------------------------------------------------
 
+    def _count(self, result: str) -> None:
+        self.fabric.metrics.counter("portal_requests_total",
+                                    result=result).inc()
+
+    def _deny_event(self, subject_uid: int, app_id: int,
+                    detail: str) -> None:
+        if self.event_log is not None:
+            self.event_log.emit(self.clock(), EventKind.PORTAL_DENY,
+                                subject_uid, f"portal:app/{app_id}", detail)
+
     def connect(self, token: str | None, app_id: int) -> bytes:
         """Fetch the app's page through the portal.
 
@@ -104,9 +120,25 @@ class Portal:
         is required) and :class:`~repro.kernel.errors.TimedOut` when the
         UBF drops the forwarded hop (cross-user access attempt).
         """
+        span = (self.tracer.start_span("portal.connect", app_id=app_id)
+                if self.tracer is not None else None)
+        try:
+            page = self._connect(token, app_id, span)
+        except BaseException as exc:
+            if span is not None:
+                self.tracer.finish(span, error=type(exc).__name__)
+            raise
+        if span is not None:
+            self.tracer.finish(span, outcome="ok")
+        return page
+
+    def _connect(self, token: str | None, app_id: int, span) -> bytes:
         if self.require_auth:
             session = self._session_valid(token) if token else None
             if session is None:
+                self._count("deny-auth")
+                self._deny_event(-1, app_id, "authentication required "
+                                 "(missing, invalid, or expired token)")
                 raise AccessDenied("portal: authentication required "
                                    "(missing, invalid, or expired token)")
             user = session.user
@@ -114,9 +146,12 @@ class Portal:
             # ad-hoc forwarding path: unauthenticated, runs as a generic
             # service identity (root daemon) — the insecure baseline
             user = self.userdb.user("root")
+        if span is not None:
+            span.set_tag("user", user.name)
         try:
             app = self._routes[app_id]
         except KeyError:
+            self._count("no-route")
             raise NoSuchEntity(f"portal route {app_id}") from None
         creds = self.userdb.credentials_for(user)
         fwd_proc = self.node.procs.spawn(creds, ["portal-fwd",
@@ -127,6 +162,13 @@ class Portal:
             app.handle_pending()
             page = conn.recv()
             conn.close()
+            self._count("allow")
             return page
+        except TimedOut:
+            # the forwarded hop was dropped by the destination's UBF; the
+            # daemon there records the NET_DENY with the real principal, so
+            # here we only count (no duplicate security event)
+            self._count("deny-ubf")
+            raise
         finally:
             self.node.procs.reap(fwd_proc.pid)

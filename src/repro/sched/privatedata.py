@@ -16,7 +16,7 @@ from dataclasses import dataclass, field
 
 from repro.kernel.users import User
 from repro.sched.accounting import UsageRecord
-from repro.sched.jobs import Job, JobState
+from repro.sched.jobs import JobState
 from repro.sched.scheduler import Scheduler
 
 

@@ -22,7 +22,7 @@ DESIGN.md.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.kernel.errors import NoSuchEntity, PermissionError_
@@ -67,6 +67,11 @@ class Scheduler:
         self.prolog = prolog
         self.epilog = epilog
         self.accounting = AccountingDB()
+        #: optional span source (repro.obs.trace.Tracer); when set, every
+        #: job's submit → queue → prolog → run → epilog lifecycle becomes
+        #: one trace.  None (the default) costs nothing on the hot path.
+        self.tracer = None
+        self._job_spans: dict[int, dict[str, object]] = {}
         self._ids = itertools.count(1)
         self.jobs: dict[int, Job] = {}
         self._queue: list[Job] = []
@@ -113,11 +118,37 @@ class Scheduler:
                        if j.array_id == array_id),
                       key=lambda j: j.array_index or 0)
 
+    def _note_queue_depth(self) -> None:
+        self.metrics.gauge("sched_queue_depth").set(len(self._queue))
+
+    def _open_job_trace(self, job: Job, *, attempt: int = 1) -> None:
+        """Root span + queue child for one (re)submission attempt."""
+        root = self.tracer.start_span(
+            "job", job_id=job.job_id, user=job.spec.user.name,
+            partition=job.spec.partition, ntasks=job.spec.ntasks,
+            attempt=attempt)
+        queue = self.tracer.start_span("sched.queue", parent=root)
+        self._job_spans[job.job_id] = {"root": root, "queue": queue,
+                                       "attempt": attempt}
+
+    def _close_job_trace(self, job: Job, state: JobState) -> None:
+        spans = self._job_spans.pop(job.job_id, None)
+        if spans is None:
+            return
+        for key in ("queue", "run"):
+            span = spans.get(key)
+            if span is not None and span.end is None:
+                self.tracer.finish(span, state=state.name.lower())
+        self.tracer.finish(spans["root"], state=state.name.lower())
+
     def _arrive(self, job: Job) -> None:
         if job.state is not JobState.PENDING:
             return  # cancelled before its arrival event fired
         self._queue.append(job)
         self.metrics.counter("jobs_submitted").inc()
+        if self.tracer is not None:
+            self._open_job_trace(job)
+        self._note_queue_depth()
         self._try_dispatch()
 
     def cancel(self, job: Job, by: User) -> None:
@@ -129,6 +160,9 @@ class Scheduler:
                 self._queue.remove(job)
             job.state = JobState.CANCELLED
             job.end_time = self.engine.now
+            if self.tracer is not None:
+                self._close_job_trace(job, JobState.CANCELLED)
+            self._note_queue_depth()
         elif job.state is JobState.RUNNING:
             self._finish(job, JobState.CANCELLED)
 
@@ -213,27 +247,45 @@ class Scheduler:
         if placed_ids:
             self._queue = [j for j in self._queue
                            if j.job_id not in placed_ids]
+            self._note_queue_depth()
 
     def _start(self, job: Job, plan: list[tuple[ComputeNode, int]]) -> None:
         now = self.engine.now
         job.state = JobState.RUNNING
         job.start_time = now
+        spans = self._job_spans.get(job.job_id) if self.tracer else None
+        if spans is not None:
+            self.tracer.finish(spans["queue"],
+                               waited=now - job.submit_time)
         whole = (self._policy_for(job) is NodeSharing.EXCLUSIVE
                  or job.spec.exclusive)
         for node, tasks in plan:
             node.allocate(job, tasks, whole_node=whole)
             if self.prolog is not None:
-                self.prolog(job, node)
+                if spans is not None:
+                    s = self.tracer.start_span("sched.prolog",
+                                               parent=spans["root"],
+                                               node=node.name)
+                    self.prolog(job, node)
+                    self.tracer.finish(s)
+                else:
+                    self.prolog(job, node)
             creds = node.node.userdb.credentials_for(job.spec.user)
             for _ in range(tasks):
                 node.node.procs.spawn(
                     creds, [job.spec.command], job_id=job.job_id,
                     cwd=job.spec.workdir, rss_mb=job.spec.mem_mb_per_task)
+        if spans is not None:
+            spans["run"] = self.tracer.start_span(
+                "job.run", parent=spans["root"],
+                nodes=",".join(sorted({n.name for n, _ in plan})))
         self._busy_cores.add(now, sum(a.cores for a in job.allocations))
         self._useful_cores.add(
             now, sum(a.tasks * job.spec.cores_per_task
                      for a in job.allocations))
-        self.metrics.samples("wait_time").add(now - job.submit_time)
+        wait = now - job.submit_time
+        self.metrics.samples("wait_time").add(wait)
+        self.metrics.histogram("sched_wait_seconds").observe(wait)
         self.metrics.counter("jobs_started").inc()
         if job.spec.script is not None:
             self._run_batch_script(job, plan[0][0])
@@ -295,12 +347,22 @@ class Scheduler:
         self._useful_cores.add(
             now, -sum(a.tasks * job.spec.cores_per_task
                       for a in job.allocations))
+        spans = self._job_spans.get(job.job_id) if self.tracer else None
         for alloc in job.allocations:
             node = self.nodes[alloc.node]
             node.node.procs.kill_job(job.job_id)
             if self.epilog is not None:
-                self.epilog(job, node)
+                if spans is not None:
+                    s = self.tracer.start_span("sched.epilog",
+                                               parent=spans["root"],
+                                               node=node.name)
+                    self.epilog(job, node)
+                    self.tracer.finish(s)
+                else:
+                    self.epilog(job, node)
             node.release(job.job_id)
+        if self.tracer is not None:
+            self._close_job_trace(job, state)
         self.accounting.record(job)
         self.metrics.counter(f"jobs_{state.name.lower()}").inc()
         self._try_dispatch()
@@ -357,6 +419,11 @@ class Scheduler:
         job.reason = "requeued after node failure"
         self.metrics.counter("jobs_requeued").inc()
         self._queue.append(job)
+        if self.tracer is not None:
+            # the failed attempt's trace closed with NODE_FAIL; the retry
+            # gets a fresh trace so both attempts stay inspectable
+            self._open_job_trace(job, attempt=2)
+        self._note_queue_depth()
         self._try_dispatch()
 
     # -- queries ------------------------------------------------------------------

@@ -23,8 +23,8 @@ from __future__ import annotations
 import re
 import shlex
 
-from repro.core.cluster import Cluster, Session
-from repro.kernel.errors import InvalidArgument, NoSuchEntity, PermissionError_
+from repro.core.cluster import Session
+from repro.kernel.errors import InvalidArgument, PermissionError_
 from repro.sched.jobs import Job, JobSpec
 
 

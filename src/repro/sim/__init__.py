@@ -1,11 +1,18 @@
 """Discrete-event simulation engine, metrics and RNG utilities."""
 
 from repro.sim.engine import Engine, SimClock
-from repro.sim.metrics import Counter, MetricSet, Samples, TimeWeighted
+from repro.sim.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSet,
+    Samples,
+    TimeWeighted,
+)
 from repro.sim.rng import DEFAULT_SEED, make_rng, poisson_arrivals, spawn
 
 __all__ = [
     "Engine", "SimClock",
-    "Counter", "MetricSet", "Samples", "TimeWeighted",
+    "Counter", "Gauge", "Histogram", "MetricSet", "Samples", "TimeWeighted",
     "DEFAULT_SEED", "make_rng", "poisson_arrivals", "spawn",
 ]

@@ -21,7 +21,7 @@ and expose its cost/coverage shape, per the DESIGN.md substitution rules.
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -9,7 +9,6 @@ from repro.kernel import (
     Filesystem,
     LinuxNode,
     LLSC_KERNEL,
-    NodeRole,
     PAPER_SMASK,
     PamSmask,
     PamStack,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.containers import (
-    ContainerImage,
     ImageFile,
     SingularityRuntime,
     build_image,

@@ -3,13 +3,12 @@ single-knob ablations showing which control closes which path."""
 
 import pytest
 
-from repro import ALL_ATTACKS, BASELINE, LLSC, ablate, blast_radius_trial, run_battery
+from repro import BASELINE, LLSC, ablate, blast_radius_trial, run_battery
 from repro.core.attacks import (
     AbstractUds,
     AclUserGrant,
     ChmodWorldHome,
     GpuResidue,
-    PortalCrossUser,
     ProcArgvSecret,
     ProjectGroupShare,
     PsSnoop,

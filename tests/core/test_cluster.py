@@ -3,7 +3,7 @@ support tools (seepid / smask_relax)."""
 
 import pytest
 
-from repro import BASELINE, Cluster, LLSC, seepid, smask_relax
+from repro import BASELINE, LLSC, seepid, smask_relax
 from repro.core import standard_cluster
 from repro.kernel import PAPER_SMASK, ROOT_CREDS
 from repro.kernel.errors import AccessDenied, PermissionError_

@@ -1,12 +1,9 @@
 """Unit + integration tests: the configuration-compliance checker."""
 
-import pytest
-
-from repro import BASELINE, Cluster, LLSC
+from repro import BASELINE, LLSC
 from repro.core import standard_cluster
 from repro.core.compliance import check_compliance
 from repro.kernel import ProcMountOptions, ROOT_CREDS
-from repro.net.firewall import Firewall
 
 
 class TestCleanClusters:

@@ -8,7 +8,7 @@ smask keeps attack *payloads* unreadable regardless.
 
 import pytest
 
-from repro.kernel import Credentials, FileKind, ROOT_CREDS, VFS
+from repro.kernel import FileKind, ROOT_CREDS, VFS
 from repro.kernel.errors import (
     AccessDenied,
     Exists,

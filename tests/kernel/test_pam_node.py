@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import (
-    LinuxNode,
     PAPER_SMASK,
     PamSlurm,
     PamSmask,

@@ -1,6 +1,6 @@
 """Unit tests: /proc aggregate files (loadavg, meminfo) under hidepid."""
 
-from repro.kernel import Credentials, ProcMountOptions, ProcFS, ProcessTable
+from repro.kernel import ProcMountOptions, ProcFS, ProcessTable
 
 from tests.conftest import creds_of
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import Credentials, UserDB
+from repro.kernel import Credentials
 from repro.kernel.errors import Exists, InvalidArgument, NoSuchEntity, PermissionError_
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.kernel import (
     AclEntry,
-    Credentials,
     FileKind,
     Filesystem,
     R_OK,

@@ -3,7 +3,6 @@
 import pytest
 
 from repro.kernel import (
-    Credentials,
     FileKind,
     KernelError,
     LinuxNode,

@@ -32,6 +32,15 @@ class TestLogBasics:
         assert log.counts() == {EventKind.FS_DENY: 1, EventKind.NET_DENY: 1}
         assert len(log.window(1.5, 3.0)) == 1
 
+    def test_window_is_half_open(self):
+        """[start, end): start included, end excluded — the convention
+        shared by window() and detect_probe_patterns(now=...)."""
+        log = SecurityEventLog()
+        log.emit(0.0, EventKind.FS_DENY, 1000, "/a", "EACCES")
+        log.emit(5.0, EventKind.FS_DENY, 1000, "/b", "EACCES")
+        assert [e.time for e in log.window(0.0, 5.0)] == [0.0]
+        assert [e.time for e in log.window(5.0, 10.0)] == [5.0]
+
 
 class TestWiring:
     def test_ubf_denial_recorded(self, cluster):

@@ -1,7 +1,5 @@
 """Unit tests: rules, conntrack, nfqueue plumbing."""
 
-import pytest
-
 from repro.net import (
     ConnState,
     ConntrackTable,

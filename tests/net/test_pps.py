@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel.errors import TimedOut
-from repro.net import PPSPolicy, Proto, Rule, Verdict
+from repro.net import PPSPolicy, Proto, Verdict
 from repro.net.firewall import ConnState, FiveTuple, Packet
 
 from tests.net.conftest import build_fabric, proc_on

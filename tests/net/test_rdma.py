@@ -3,7 +3,7 @@
 import pytest
 
 from repro.kernel.errors import InvalidArgument, NotConnected, TimedOut
-from repro.net import Proto, RDMAFabric
+from repro.net import RDMAFabric
 
 from tests.net.conftest import build_fabric, proc_on
 

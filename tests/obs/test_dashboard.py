@@ -1,0 +1,93 @@
+"""Tests: ops dashboard rendering and per-user denial posture."""
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import AccessDenied, KernelError
+from repro.monitor import audited_session, instrument_cluster
+from repro.monitor.events import EventKind, SecurityEventLog
+from repro.obs import attach_telemetry, denial_posture, ops_dashboard
+
+
+@pytest.fixture
+def cluster():
+    c = Cluster.build(LLSC, n_compute=3, gpus_per_node=1,
+                      users=("alice", "bob", "mallory"), staff=("sam",))
+    attach_telemetry(c)
+    instrument_cluster(c)
+    return c
+
+
+def busy_day(cluster):
+    """A job, a probing mallory, and a portal auth failure."""
+    cluster.submit("alice", duration=10.0, gpus_per_task=1)
+    cluster.run(until=100.0)
+    mallory = cluster.login("mallory")
+    msys = audited_session(mallory, cluster.security_log)
+    for victim in ("alice", "bob"):
+        for f in ("data", "keys", "notes"):
+            try:
+                msys.open_read(f"/home/{victim}/{f}")
+            except KernelError:
+                pass
+    with pytest.raises(AccessDenied):
+        cluster.portal.connect("tok-bogus", 1)
+
+
+class TestDenialPosture:
+    def test_rows_sorted_noisiest_first(self, cluster):
+        busy_day(cluster)
+        rows = denial_posture(cluster.security_log, cluster.userdb)
+        assert rows[0]["user"] == "mallory"
+        assert rows[0]["denials"] == 6
+        assert rows[0]["distinct_targets"] == 6
+        assert rows[0]["kinds"] == {"fs-deny": 6}
+        denials = [r["denials"] for r in rows]
+        assert denials == sorted(denials, reverse=True)
+
+    def test_admin_events_excluded(self):
+        log = SecurityEventLog()
+        log.emit(1.0, EventKind.ADMIN, 1000, "n1", "seepid")
+        assert denial_posture(log) == []
+
+    def test_unauthenticated_principal_labeled(self, cluster):
+        busy_day(cluster)
+        rows = denial_posture(cluster.security_log, cluster.userdb)
+        anon = [r for r in rows if r["uid"] == -1]
+        assert anon and anon[0]["user"] == "(unauthenticated)"
+        assert anon[0]["kinds"] == {"portal-deny": 1}
+
+
+class TestDashboard:
+    def test_all_sections_render(self, cluster):
+        busy_day(cluster)
+        text = ops_dashboard(cluster)
+        for section in ("# Ops dashboard", "## Enforcement metrics",
+                        "## Security events", "## Probe alerts",
+                        "## Per-user denial posture", "## Trace activity"):
+            assert section in text, f"missing {section}"
+
+    def test_probe_alert_shown(self, cluster):
+        busy_day(cluster)
+        text = ops_dashboard(cluster)
+        assert "mallory" in text.split("## Probe alerts")[1]
+
+    def test_enforcement_table_covers_areas(self, cluster):
+        busy_day(cluster)
+        table = ops_dashboard(cluster).split("## Enforcement metrics")[1] \
+            .split("##")[0]
+        for series in ("syscalls_total", "pam_decisions_total",
+                       "gpu_grants_total", "gpu_scrubs_total",
+                       "portal_requests_total", "jobs_submitted"):
+            assert series in table, f"missing {series}"
+
+    def test_window_scopes_probe_alerts(self, cluster):
+        busy_day(cluster)  # all denials happen at t<=100
+        text = ops_dashboard(cluster, window=10.0, now=10_000.0)
+        assert "No probe-like activity detected." in text
+
+    def test_renders_without_instrumentation(self):
+        bare = Cluster.build(LLSC, n_compute=1, users=("alice",))
+        text = ops_dashboard(bare)
+        assert "Event log not attached" in text
+        assert "## Trace activity" not in text

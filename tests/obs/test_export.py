@@ -1,0 +1,116 @@
+"""Unit tests: JSONL event/span export and Prometheus text exposition."""
+
+import io
+import json
+from pathlib import Path
+
+from repro.monitor.events import EventKind, SecurityEventLog
+from repro.obs import Tracer, event_lines, export_jsonl, prometheus_text, span_lines
+from repro.sim.metrics import MetricSet
+
+GOLDEN = Path(__file__).with_name("golden_prometheus.txt")
+
+
+def golden_metrics() -> MetricSet:
+    m = MetricSet()
+    m.counter("ubf_verdicts_total", verdict="accept",
+              reason="same-user").inc(5)
+    m.counter("ubf_verdicts_total", verdict="drop",
+              reason="cross-user").inc(3)
+    m.counter("jobs_submitted").inc(2)
+    m.gauge("sched_queue_depth").set(2)
+    h = m.histogram("sched_wait_seconds")
+    h.observe(0.5)
+    h.observe(12.0)
+    s = m.samples("wait_time")
+    s.add(1.0)
+    s.add(2.0)
+    s.add(4.0)
+    return m
+
+
+class TestPrometheus:
+    def test_matches_golden_file(self):
+        assert prometheus_text(golden_metrics()) == GOLDEN.read_text()
+
+    def test_output_is_deterministic(self):
+        assert prometheus_text(golden_metrics()) == \
+            prometheus_text(golden_metrics())
+
+    def test_label_values_escaped(self):
+        m = MetricSet()
+        m.counter("c", detail='say "hi"\nthere\\now').inc()
+        (line,) = [ln for ln in prometheus_text(m).splitlines()
+                   if ln.startswith("c{")]
+        assert line == 'c{detail="say \\"hi\\"\\nthere\\\\now"} 1'
+
+    def test_metric_names_sanitized(self):
+        m = MetricSet()
+        m.counter("weird-name.total").inc()
+        assert "weird_name_total 1" in prometheus_text(m)
+
+    def test_histogram_buckets_are_cumulative(self):
+        m = MetricSet()
+        h = m.histogram("lat", buckets=(1.0, 10.0))
+        for v in (0.5, 0.6, 5.0, 100.0):
+            h.observe(v)
+        text = prometheus_text(m)
+        assert 'lat_bucket{le="1"} 2' in text
+        assert 'lat_bucket{le="10"} 3' in text
+        assert 'lat_bucket{le="+Inf"} 4' in text
+        assert "lat_count 4" in text
+
+    def test_empty_metricset_renders_empty(self):
+        assert prometheus_text(MetricSet()) == ""
+
+
+class TestJsonl:
+    def make_sources(self):
+        log = SecurityEventLog()
+        log.emit(1.0, EventKind.FS_DENY, 1000, "/home/alice/x", "EACCES")
+        log.emit(8.0, EventKind.NET_DENY, 1001, "c1:5000", "cross-user")
+        state = {"now": 2.0}
+        tracer = Tracer(clock=lambda: state["now"])
+        span = tracer.start_span("job", job_id=1)
+        state["now"] = 5.0
+        tracer.finish(span, state="completed")
+        tracer.start_span("never-finished")
+        return log, tracer
+
+    def test_lines_are_valid_json(self):
+        log, tracer = self.make_sources()
+        for line in list(event_lines(log)) + list(span_lines(tracer)):
+            record = json.loads(line)
+            assert record["type"] in ("event", "span")
+
+    def test_export_merges_chronologically(self):
+        log, tracer = self.make_sources()
+        sink = io.StringIO()
+        n = export_jsonl(sink, events=log, tracer=tracer)
+        records = [json.loads(ln) for ln in
+                   sink.getvalue().strip().splitlines()]
+        assert n == len(records) == 3  # open span excluded
+        assert [r["type"] for r in records] == ["event", "span", "event"]
+        times = [r["time"] if r["type"] == "event" else r["start"]
+                 for r in records]
+        assert times == sorted(times)
+
+    def test_span_record_shape(self):
+        _, tracer = self.make_sources()
+        record = json.loads(next(iter(span_lines(tracer))))
+        assert record["trace_id"] == "t000001"
+        assert record["span_id"] == "s000001"
+        assert record["parent_id"] is None
+        assert record["tags"] == {"job_id": 1, "state": "completed"}
+
+    def test_export_to_path(self, tmp_path):
+        log, tracer = self.make_sources()
+        path = tmp_path / "run.jsonl"
+        n = export_jsonl(str(path), events=log, tracer=tracer)
+        assert n == 3
+        assert len(path.read_text().strip().splitlines()) == 3
+
+    def test_events_only(self):
+        log, _ = self.make_sources()
+        sink = io.StringIO()
+        assert export_jsonl(sink, events=log) == 2

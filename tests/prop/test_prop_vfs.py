@@ -1,7 +1,7 @@
 """Property-based tests: DAC algorithm and File Permission Handler
 invariants over randomized modes, credentials, and ACLs."""
 
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.kernel import (

@@ -1,8 +1,6 @@
 """Unit tests: node drain/resume, hardware failure, requeue."""
 
-import pytest
-
-from repro.sched import JobState, NodeSharing
+from repro.sched import JobState
 
 from tests.sched.conftest import build_sched, spec
 

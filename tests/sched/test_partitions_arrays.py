@@ -6,7 +6,7 @@ import pytest
 from repro import Cluster, LLSC, seepid
 from repro.core.tools import attribute_load
 from repro.kernel.errors import InvalidArgument, NoSuchEntity
-from repro.sched import JobState, NodeSharing, Partition
+from repro.sched import JobState, Partition
 
 
 @pytest.fixture

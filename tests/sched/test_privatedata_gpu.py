@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernel import AccessDenied, ROOT_CREDS
+from repro.kernel import ROOT_CREDS
 from repro.kernel.errors import AccessDenied as EACCES
 from repro.sched import (
     GPU_MODE_ASSIGNED,

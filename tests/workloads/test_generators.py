@@ -1,6 +1,5 @@
 """Unit tests: job generators and multi-user traces."""
 
-import numpy as np
 import pytest
 
 from repro.sim import make_rng
