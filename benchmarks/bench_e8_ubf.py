@@ -168,6 +168,10 @@ def test_e8_cache_and_conntrack_ablation(benchmark):
     no_ct = results[(True, False)]
     assert base["full_decisions"] == 1 and base["cache_hits"] == 19
     assert no_cache["full_decisions"] == 20
+    # the cache's point: hits answer without the ident RTT
+    assert base["ident_rtts"] == 1
+    assert no_cache["ident_rtts"] == 20
+    assert base["ident_rtts"] < no_cache["ident_rtts"]
     assert no_ct["fastpath_pkts"] == 0       # every packet walks the rules
     assert base["fastpath_pkts"] >= 100
     assert base["cost_us"] < no_ct["cost_us"]

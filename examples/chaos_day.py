@@ -1,0 +1,127 @@
+#!/usr/bin/env python3
+"""A chaos day: injecting faults into the enforcement data path and
+watching it degrade — and recover — the way the design promises.
+
+The UBF decides every NEW cross-host connection, which puts it (and the
+peer's identd) on the availability-critical path.  This walk-through
+exercises each failure mode with a :class:`~repro.faults.ChaosController`
+and reads the result off the ops dashboard's degradation-posture section:
+
+1. alice serves a steady flow; identd on her login node goes dark —
+   established traffic keeps flowing, NEW connections fail closed, a
+   cached principal rides it out;
+2. the fault clears on its own (timed injection): service restores with
+   no manual flush;
+3. the UBF daemon on the victim node is killed and restarted — conntrack
+   carries the established flows across the bounce;
+4. conntrack pressure re-bounds the table; evicted same-user flows
+   re-admit transparently via fresh decisions;
+5. the dashboard renders the whole posture: active faults, degraded
+   verdicts, retries, evictions.
+
+Run:  python examples/chaos_day.py
+"""
+
+from repro import Cluster, LLSC
+from repro.kernel.errors import KernelError
+from repro.monitor import instrument_cluster
+from repro.obs import ops_dashboard
+
+
+def try_connect(session, host, port=5000) -> str:
+    try:
+        session.socket().connect(host, port)
+        return "connected"
+    except KernelError as e:
+        return f"blocked ({e.errname})"
+
+
+def main() -> None:
+    cluster = Cluster.build(LLSC, n_compute=4,
+                            users=("alice", "bob"), staff=("sam",))
+    instrument_cluster(cluster)
+    chaos = cluster.chaos()
+
+    job = cluster.submit("alice", name="service", duration=100_000.0)
+    cluster.run(until=1.0)
+    shell = cluster.job_session(job)
+    host = shell.node.name
+    shell.node.net.listen(shell.node.net.bind(shell.process, 5000))
+    alice = cluster.login("alice")
+    flow = alice.socket().connect(host, 5000)
+    print(f"== alice serves on {host}:5000; one flow established ==")
+
+    # ------------------------------------------------- 1. identd outage
+    print("\n== identd on login1 goes dark (timed: clears at t+600s) ==")
+    chaos.identd_down("login1", for_=600.0)
+    try:
+        flow.send(b"payload")
+        print("  established flow: still delivering (conntrack fast path)")
+    except KernelError as e:
+        print(f"  established flow: BROKEN {e.errname}")
+    print(f"  alice, cached from before: "
+          f"{try_connect(alice, host)}")
+    print(f"  bob, uncached NEW connection: "
+          f"{try_connect(cluster.login('bob'), host)}  <- fail closed")
+
+    # ------------------------------------------------- 2. self-healing
+    cluster.run(until=700.0)
+    print("\n== virtual time passes; the timed fault has cleared ==")
+    print(f"  active faults: {len(chaos.active())}")
+    print(f"  fresh alice login, NEW connection: "
+          f"{try_connect(cluster.login('alice'), host)} "
+          f"(no manual flush)")
+
+    # ------------------------------------------------- 3. daemon bounce
+    print(f"\n== the UBF daemon on {host} crashes ==")
+    fault = chaos.kill_ubf(host)
+    try:
+        flow.send(b"payload")
+        print("  established flow: still delivering")
+    except KernelError as e:
+        print(f"  established flow: BROKEN {e.errname}")
+    print(f"  NEW connection while daemon is down: "
+          f"{try_connect(cluster.login('alice'), host)}  <- kernel fails "
+          f"closed")
+    chaos.clear(fault)
+    resynced = int(cluster.metrics.gauge("ubf_resync_flows").value)
+    print(f"  restarted; re-synced against {resynced} surviving "
+          f"conntrack flow(s)")
+    print(f"  NEW connection after restart: "
+          f"{try_connect(cluster.login('alice'), host)}")
+
+    # ------------------------------------------------- 4. conntrack pressure
+    print(f"\n== conntrack on {host} re-bounded to 2 entries ==")
+    pressure = chaos.conntrack_pressure(host, capacity=2)
+    conns = [alice.socket().connect(host, 5000) for _ in range(6)]
+    delivered = 0
+    for c in conns:
+        try:
+            c.send(b"x")
+            delivered += 1
+        except KernelError:
+            pass
+    evictions = cluster.metrics.counter("conntrack_evictions_total",
+                                        reason="lru").value
+    print(f"  6 flows through a 2-entry table: {delivered}/6 delivered, "
+          f"{int(evictions)} LRU evictions (evicted flows simply "
+          f"re-decided)")
+    chaos.clear(pressure)
+
+    # ------------------------------------------------- 5. the posture view
+    print("\n== one more fault left burning for the dashboard ==")
+    chaos.identd_down("login1")
+    print()
+    dashboard = ops_dashboard(cluster)
+    section = dashboard[dashboard.index("## Degradation posture"):]
+    if "## Trace activity" in section:
+        section = section[:section.index("## Trace activity")]
+    print(section.rstrip())
+
+    chaos.heal_all()
+    print(f"\nheal_all(): {len(chaos.active())} active faults remain.")
+    print("Chaos day complete.")
+
+
+if __name__ == "__main__":
+    main()

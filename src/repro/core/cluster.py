@@ -156,11 +156,14 @@ class Cluster:
             node.mount_shared("/scratch", scratch_fs)
             fw = Firewall(rules=ubf_ruleset() if config.ubf else [])
             fw.conntrack.enabled = config.conntrack
+            fw.conntrack.capacity = config.conntrack_max
             stack = HostStack(node, fabric, firewall=fw)
             if config.ubf:
                 ubf_daemons[name] = UBFDaemon(
                     stack, fabric, userdb,
-                    cache_enabled=config.ubf_cache).install()
+                    cache_enabled=config.ubf_cache,
+                    fail_open=config.ubf_fail_open,
+                    ident_retries=config.ubf_ident_retries).install()
             return node
 
         login_nodes = [make_node(f"login{i}", NodeRole.LOGIN, NodeSpec())
@@ -258,6 +261,13 @@ class Cluster:
                 ppath = f"/home/proj/{pname}"
                 v.mkdir(ppath, ROOT_CREDS, mode=0o2770)
                 v.chown(ppath, ROOT_CREDS, gid=grp.gid)
+
+    # ------------------------------------------------------------------ chaos
+
+    def chaos(self) -> "object":
+        """A :class:`~repro.faults.ChaosController` bound to this cluster."""
+        from repro.faults import ChaosController
+        return ChaosController(self)
 
     # ------------------------------------------------------------------ access
 

@@ -64,8 +64,19 @@ class SeparationConfig:
     ubf: bool = False
     #: UBF decision cache.
     ubf_cache: bool = True
+    #: UBF degraded-mode policy when the initiator's identity cannot be
+    #: learned (peer identd down/unreachable): False = fail closed (DROP,
+    #: the paper's separation-first posture), True = fail open (ACCEPT,
+    #: availability-over-separation ablation).
+    ubf_fail_open: bool = False
+    #: ident retry attempts after the first failure (retry-with-backoff).
+    ubf_ident_retries: int = 2
     #: conntrack enabled (ablation knob; always on in real deployments).
     conntrack: bool = True
+    #: conntrack table bound per host (None = unbounded); LRU eviction
+    #: beyond this, with evicted flows re-running the UBF decision on their
+    #: next packet.
+    conntrack_max: int | None = None
 
     # -- IV-E portal ---------------------------------------------------------
     #: portal requires an authenticated session token.
@@ -99,6 +110,8 @@ class SeparationConfig:
             "smask": oct(self.smask),
             "file_permission_handler": self.file_permission_handler,
             "ubf": self.ubf,
+            "ubf_fail_open": self.ubf_fail_open,
+            "conntrack_max": self.conntrack_max,
             "portal_auth": self.portal_auth,
             "gpu_dev_assignment": self.gpu_dev_assignment,
             "gpu_scrub": self.gpu_scrub,

@@ -1,0 +1,18 @@
+"""Fault injection and graceful degradation for the enforcement data path.
+
+The paper's separation mechanisms sit on availability-critical paths (the
+UBF decides every NEW connection); this package injects the failures those
+paths must survive and gives experiments (E23) a controller to measure
+blast radius and recovery with:
+
+* :class:`FaultInjector` — fabric-level fault registry + data-path
+  predicates (host unreachable, identd down/slow, packet loss, ...);
+* :class:`ChaosController` — cluster-level orchestration: apply a fault
+  *and* its state change (daemon crash, conntrack re-bounding), reverse
+  both on clear, optional sim-engine timed auto-clear.
+"""
+
+from repro.faults.chaos import ChaosController
+from repro.faults.injector import Fault, FaultInjector, FaultKind
+
+__all__ = ["ChaosController", "Fault", "FaultInjector", "FaultKind"]

@@ -1,0 +1,94 @@
+"""Cluster-level chaos orchestration over the fault injector.
+
+:class:`ChaosController` is the operator-facing face of :mod:`repro.faults`:
+it knows the built :class:`~repro.core.cluster.Cluster`, so one call both
+records the fault in the fabric's injector (for posture reporting) and
+applies the state change the fault implies (killing a daemon, re-bounding a
+conntrack table).  Clearing a fault reverses both halves — `heal_all()`
+restores a fully healthy cluster with **no manual flushes**: surviving
+conntrack state is kept, restarted daemons re-sync against it, and the next
+NEW connection simply runs the normal decision path again.
+
+``for_=seconds`` arms an automatic clear on the cluster's sim engine, so a
+chaos experiment can inject, run virtual time forward, and measure recovery
+without bookkeeping.
+"""
+
+from __future__ import annotations
+
+from repro.faults.injector import Fault, FaultInjector, FaultKind
+
+
+class ChaosController:
+    """Inject, clear and heal failure modes on a built cluster."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self.injector: FaultInjector = cluster.fabric.faults
+
+    # -- injection ----------------------------------------------------------
+
+    def partition(self, host: str, *, for_: float | None = None) -> Fault:
+        """Take *host* off the fabric: every packet to it is lost."""
+        return self._arm(self.injector.inject(
+            FaultKind.HOST_UNREACHABLE, host), for_)
+
+    def identd_down(self, host: str, *, for_: float | None = None) -> Fault:
+        """identd on *host* answers nothing (the host itself stays up)."""
+        return self._arm(self.injector.inject(
+            FaultKind.IDENTD_UNRESPONSIVE, host), for_)
+
+    def identd_slow(self, host: str, *, fail_attempts: int = 1,
+                    for_: float | None = None) -> Fault:
+        """identd on *host* drops the next *fail_attempts* queries."""
+        return self._arm(self.injector.inject(
+            FaultKind.IDENTD_SLOW, host, fail_attempts=fail_attempts), for_)
+
+    def packet_loss(self, host: str, *, loss_rate: float,
+                    for_: float | None = None) -> Fault:
+        """Drop a seeded-random fraction of data packets toward *host*."""
+        return self._arm(self.injector.inject(
+            FaultKind.PACKET_LOSS, host, loss_rate=loss_rate), for_)
+
+    def kill_ubf(self, host: str, *, for_: float | None = None) -> Fault:
+        """Crash the UBF daemon on *host* (kernel fails closed for NEW)."""
+        self.cluster.ubf_daemons[host].crash()
+        return self._arm(self.injector.inject(FaultKind.UBF_CRASH, host),
+                         for_)
+
+    def conntrack_pressure(self, host: str, *, capacity: int,
+                           for_: float | None = None) -> Fault:
+        """Re-bound *host*'s conntrack table to *capacity* entries."""
+        table = self.cluster.fabric.host(host).firewall.conntrack
+        fault = self.injector.inject(FaultKind.CONNTRACK_PRESSURE, host,
+                                     capacity=capacity,
+                                     _prev_capacity=table.capacity)
+        table.set_capacity(capacity, reason="pressure")
+        return self._arm(fault, for_)
+
+    # -- recovery -----------------------------------------------------------
+
+    def clear(self, fault: Fault) -> None:
+        """Clear one fault, reversing any state change it applied."""
+        if not fault.active:
+            return
+        if fault.kind is FaultKind.UBF_CRASH:
+            daemon = self.cluster.ubf_daemons.get(fault.host)
+            if daemon is not None and not daemon.alive:
+                daemon.restart()
+        elif fault.kind is FaultKind.CONNTRACK_PRESSURE:
+            table = self.cluster.fabric.host(fault.host).firewall.conntrack
+            table.capacity = fault.params.get("_prev_capacity")
+        self.injector.clear(fault)
+
+    def heal_all(self) -> None:
+        for fault in list(self.injector.active()):
+            self.clear(fault)
+
+    def active(self) -> list[Fault]:
+        return self.injector.active()
+
+    def _arm(self, fault: Fault, for_: float | None) -> Fault:
+        if for_ is not None:
+            self.cluster.engine.after(for_, lambda: self.clear(fault))
+        return fault

@@ -1,0 +1,138 @@
+"""Injectable failure modes for the network/enforcement data path.
+
+The UBF (paper Section IV-D) is a userspace daemon *on the connection-setup
+critical path*: if a peer host is down, its identd is slow, or the daemon
+itself dies, the design must degrade predictably — fail closed for new
+flows, conntrack keeps established ones alive.  This module is the fault
+side of that contract: a :class:`FaultInjector` rides on the
+:class:`~repro.net.stack.Fabric` and the network components consult it at
+exactly the points where real infrastructure fails:
+
+* ``HOST_UNREACHABLE`` — the peer is down: every packet to it (data or
+  ident) is lost;
+* ``IDENTD_UNRESPONSIVE`` — the host is up but its identd answers nothing;
+* ``IDENTD_SLOW`` — identd drops the first *fail_attempts* queries, then
+  answers (what a retry-with-backoff policy is for);
+* ``UBF_CRASH`` — the decision daemon is dead (recorded here for posture
+  reporting; the crash itself is `UBFDaemon.crash()`);
+* ``PACKET_LOSS`` — the path to a host drops a seeded-random fraction of
+  data packets;
+* ``CONNTRACK_PRESSURE`` — the host's conntrack table is re-bounded so LRU
+  eviction kicks in (recorded here; applied via
+  ``ConntrackTable.set_capacity``).
+
+Injection is instant, explicit and reversible; every transition is counted
+(``faults_injected_total{kind=}`` / ``faults_cleared_total{kind=}``) so the
+ops dashboard's degradation-posture section can render live fault state.
+Packet-loss draws come from a seeded :mod:`repro.sim.rng` generator —
+identical runs lose identical packets.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.sim.rng import make_rng
+
+
+class FaultKind(enum.Enum):
+    HOST_UNREACHABLE = "host-unreachable"
+    IDENTD_UNRESPONSIVE = "identd-unresponsive"
+    IDENTD_SLOW = "identd-slow"
+    UBF_CRASH = "ubf-crash"
+    PACKET_LOSS = "packet-loss"
+    CONNTRACK_PRESSURE = "conntrack-pressure"
+
+
+@dataclass(eq=False)  # identity semantics: each injection is its own fault
+class Fault:
+    """One active (or cleared) injected fault."""
+
+    fault_id: int
+    kind: FaultKind
+    host: str
+    params: dict[str, object] = field(default_factory=dict)
+    active: bool = True
+
+    def describe(self) -> str:
+        inner = " ".join(f"{k}={v}" for k, v in sorted(self.params.items())
+                         if not str(k).startswith("_"))
+        return f"{self.kind.value} on {self.host}" + (f" ({inner})"
+                                                      if inner else "")
+
+
+class FaultInjector:
+    """Fault registry + the predicates the data path consults.
+
+    One injector per fabric (``fabric.faults``).  With nothing injected
+    every predicate is a cheap no-fault answer, so the healthy path pays
+    one attribute read and a truthiness check.
+    """
+
+    def __init__(self, metrics, seed: int | None = None):
+        self.metrics = metrics
+        self._rng = make_rng(seed)
+        self._ids = itertools.count(1)
+        self._active: list[Fault] = []
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def inject(self, kind: FaultKind, host: str, **params: object) -> Fault:
+        fault = Fault(next(self._ids), kind, host, dict(params))
+        self._active.append(fault)
+        self.metrics.counter("faults_injected_total", kind=kind.value).inc()
+        self.metrics.gauge("faults_active").set(len(self._active))
+        return fault
+
+    def clear(self, fault: Fault) -> None:
+        if not fault.active:
+            return
+        fault.active = False
+        self._active.remove(fault)
+        self.metrics.counter("faults_cleared_total",
+                             kind=fault.kind.value).inc()
+        self.metrics.gauge("faults_active").set(len(self._active))
+
+    def clear_all(self) -> None:
+        for fault in list(self._active):
+            self.clear(fault)
+
+    def active(self, kind: FaultKind | None = None,
+               host: str | None = None) -> list[Fault]:
+        return [f for f in self._active
+                if (kind is None or f.kind is kind)
+                and (host is None or f.host == host)]
+
+    # -- predicates (the data path asks these) ------------------------------
+
+    def host_unreachable(self, host: str) -> bool:
+        return bool(self.active(FaultKind.HOST_UNREACHABLE, host))
+
+    def ident_attempt_ok(self, host: str) -> bool:
+        """May one ident query to *host* succeed right now?
+
+        ``IDENTD_SLOW`` faults consume one failed attempt per call until
+        their ``fail_attempts`` budget is spent, then stop interfering —
+        which is exactly the shape a retry-with-backoff client recovers
+        from without operator action.
+        """
+        if self.host_unreachable(host) \
+                or self.active(FaultKind.IDENTD_UNRESPONSIVE, host):
+            return False
+        for fault in self.active(FaultKind.IDENTD_SLOW, host):
+            remaining = int(fault.params.get("fail_attempts", 1))
+            if remaining > 0:
+                fault.params["fail_attempts"] = remaining - 1
+                return False
+        return True
+
+    def drop_packet(self, dst_host: str) -> bool:
+        """Seeded-random loss draw for one data packet toward *dst_host*."""
+        for fault in self.active(FaultKind.PACKET_LOSS, dst_host):
+            rate = float(fault.params.get("loss_rate", 0.0))
+            if rate > 0 and self._rng.random() < rate:
+                self.metrics.counter("fault_packets_dropped").inc()
+                return True
+        return False

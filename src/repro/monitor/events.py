@@ -33,6 +33,7 @@ class EventKind(enum.Enum):
     GPU_DENY = "gpu-deny"        # refused open of a GPU /dev character file
     PORTAL_DENY = "portal-deny"  # portal request refused (auth failure)
     ADMIN = "admin"  # seepid/smask_relax invocations (escalation audit)
+    DEGRADED = "degraded"  # UBF verdict under identity-infrastructure fault
 
 
 @dataclass(frozen=True)
@@ -115,7 +116,9 @@ def detect_probe_patterns(log: SecurityEventLog, *,
             events = [e for e in events if e.time >= last - window]
     per_subject: dict[int, list[SecurityEvent]] = defaultdict(list)
     for e in events:
-        if e.kind is not EventKind.ADMIN:
+        # ADMIN is audit, not denial; DEGRADED blames infrastructure, not
+        # the principal — neither should trip the scanner heuristic.
+        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED):
             per_subject[e.subject_uid].append(e)
     alerts = []
     for uid, evs in per_subject.items():

@@ -53,8 +53,16 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
 
         def wrapped(pkt, _orig=original, _daemon=daemon):
             verdict = _orig(pkt)
-            if verdict is Verdict.DROP:
-                entry = _daemon.log[-1]
+            entry = _daemon.log[-1] if _daemon.log else None
+            if entry is not None and entry.reason.startswith("degraded"):
+                # Infrastructure fault, not a principal's denial: record it
+                # distinctly so posture/probe views don't blame the user.
+                log.emit(cluster.engine.now, EventKind.DEGRADED,
+                         entry.initiator_uid if entry.initiator_uid
+                         is not None else -1,
+                         f"{pkt.flow.dst_host}:{pkt.flow.dst_port}",
+                         f"{verdict.value}: {entry.reason}")
+            elif verdict is Verdict.DROP and entry is not None:
                 log.emit(cluster.engine.now, EventKind.NET_DENY,
                          entry.initiator_uid if entry.initiator_uid
                          is not None else -1,

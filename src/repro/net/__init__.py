@@ -12,7 +12,12 @@ from repro.net.firewall import (
     Verdict,
     ubf_ruleset,
 )
-from repro.net.ident import IdentReply, IdentService, remote_ident_query
+from repro.net.ident import (
+    IdentReply,
+    IdentService,
+    IdentUnavailable,
+    remote_ident_query,
+)
 from repro.net.pps import FirewallScore, PPSPolicy, ServiceEntry
 from repro.net.rdma import MemoryRegion, QueuePair, RDMAFabric
 from repro.net.stack import (
@@ -29,7 +34,7 @@ from repro.net.ubf import COST_US, UBFDaemon, UBFDecisionLog, firewall_cost_us
 __all__ = [
     "ConnState", "ConntrackTable", "Firewall", "FiveTuple", "Packet",
     "Proto", "Rule", "Verdict", "ubf_ruleset",
-    "IdentReply", "IdentService", "remote_ident_query",
+    "IdentReply", "IdentService", "IdentUnavailable", "remote_ident_query",
     "FirewallScore", "PPSPolicy", "ServiceEntry",
     "MemoryRegion", "QueuePair", "RDMAFabric",
     "BoundSocket", "Connection", "ConnectionEnd", "Datagram", "Fabric",

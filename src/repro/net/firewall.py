@@ -21,6 +21,7 @@ E8 can price the fast and slow paths.
 from __future__ import annotations
 
 import enum
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -60,11 +61,24 @@ class FiveTuple:
 
 @dataclass(frozen=True)
 class Packet:
-    """The firewall-visible part of a segment/datagram."""
+    """The firewall-visible part of a segment/datagram.
+
+    ``src_uid`` is the uid of the process that owns the sending socket,
+    stamped by the *initiating* host's kernel.  Cluster hosts run the same
+    root-administered system image (the paper's trust model — the same
+    assumption that makes the identd responder trustworthy), so the UBF
+    daemon may use it as a **cache key**: a hit on a previously-decided
+    principal triple skips the ident round trip entirely.  It is never used
+    as the authoritative identity — a cache miss still pays the ident RTT,
+    which returns uid *and* group membership.  ``None`` models a packet
+    whose origin offers no credential (e.g. hand-crafted test traffic); the
+    daemon then always runs the full query.
+    """
 
     flow: FiveTuple
     state: ConnState
     payload_len: int = 0
+    src_uid: int | None = None
 
 
 @dataclass(frozen=True)
@@ -104,26 +118,88 @@ class ConntrackEntry:
 
 
 class ConntrackTable:
-    """Established-flow table; both directions of a flow share one entry."""
+    """Established-flow table; both directions of a flow share one entry.
 
-    def __init__(self, enabled: bool = True):
+    Like the kernel's, the table is **bounded**: ``capacity`` (None =
+    unbounded, matching ``nf_conntrack_max`` left at default) caps the
+    number of live entries, and commits beyond it evict the least recently
+    used flow.  An evicted flow is not broken — its next packet is simply
+    NEW again and re-runs the full decision path (the nfqueue/UBF slow
+    path), which is exactly the real system's degradation mode under
+    conntrack pressure.  Evictions are counted per reason
+    (``conntrack_evictions_total{reason=lru|close|refused|pressure}``) when
+    a metrics registry is attached.
+    """
+
+    def __init__(self, enabled: bool = True, capacity: int | None = None,
+                 metrics: MetricSet | None = None):
         self.enabled = enabled
-        self._table: dict[FiveTuple, ConntrackEntry] = {}
+        self.capacity = capacity
+        #: registry evictions/size are reported to; wired by the owning
+        #: Firewall / HostStack (may stay None in unit scenarios)
+        self.metrics = metrics
+        self._table: OrderedDict[FiveTuple, ConntrackEntry] = OrderedDict()
+
+    # -- accounting ---------------------------------------------------------
+
+    def _count_eviction(self, reason: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter("conntrack_evictions_total",
+                                 reason=reason).inc()
+            self.metrics.gauge("conntrack_table_size").set(len(self._table))
+
+    def _note_size(self) -> None:
+        if self.metrics is not None:
+            self.metrics.gauge("conntrack_table_size").set(len(self._table))
+
+    # -- data path ----------------------------------------------------------
 
     def lookup(self, flow: FiveTuple) -> ConntrackEntry | None:
         if not self.enabled:
             return None
-        return self._table.get(flow) or self._table.get(flow.reversed())
+        entry = self._table.get(flow)
+        key = flow
+        if entry is None:
+            key = flow.reversed()
+            entry = self._table.get(key)
+        if entry is not None:
+            self._table.move_to_end(key)  # LRU touch
+        return entry
 
     def commit(self, flow: FiveTuple) -> ConntrackEntry:
         entry = ConntrackEntry(flow)
-        if self.enabled:
-            self._table[flow] = entry
+        if not self.enabled:
+            return entry
+        self._table[flow] = entry
+        self._table.move_to_end(flow)
+        if self.capacity is not None:
+            while len(self._table) > self.capacity:
+                self._table.popitem(last=False)
+                self._count_eviction("lru")
+        self._note_size()
         return entry
 
-    def evict(self, flow: FiveTuple) -> None:
-        self._table.pop(flow, None)
-        self._table.pop(flow.reversed(), None)
+    def evict(self, flow: FiveTuple, reason: str = "close") -> None:
+        fwd = self._table.pop(flow, None)
+        rev = self._table.pop(flow.reversed(), None)
+        if fwd is not None or rev is not None:
+            self._count_eviction(reason)
+
+    def set_capacity(self, capacity: int | None,
+                     reason: str = "pressure") -> int:
+        """Re-bound the table, trimming LRU-first; returns evicted count."""
+        self.capacity = capacity
+        evicted = 0
+        if capacity is not None:
+            while len(self._table) > capacity:
+                self._table.popitem(last=False)
+                self._count_eviction(reason)
+                evicted += 1
+        return evicted
+
+    def flows(self) -> list[FiveTuple]:
+        """Live flow keys, LRU-first (what a restarted daemon re-syncs on)."""
+        return list(self._table)
 
     def __len__(self) -> int:
         return len(self._table)
@@ -146,8 +222,24 @@ class Firewall:
     metrics: MetricSet = field(default_factory=MetricSet)
     _nfqueue: NfqueueHandler | None = None
 
+    def __post_init__(self) -> None:
+        if self.conntrack.metrics is None:
+            self.conntrack.metrics = self.metrics
+
     def bind_nfqueue(self, handler: NfqueueHandler) -> None:
         self._nfqueue = handler
+
+    def unbind_nfqueue(self) -> NfqueueHandler | None:
+        """Detach the userspace daemon (it crashed or was stopped).
+
+        With no handler bound, NFQUEUE rules fail **closed**: the kernel
+        drops NEW connections while conntrack keeps established flows
+        alive — the degradation contract of the real nfqueue data path.
+        Returns the detached handler so a restart can rebind the exact
+        callable (including any monitoring wrappers around it).
+        """
+        handler, self._nfqueue = self._nfqueue, None
+        return handler
 
     def evaluate(self, pkt: Packet) -> Verdict:
         """Run a packet through conntrack then the INPUT chain.

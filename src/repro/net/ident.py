@@ -8,14 +8,32 @@ The responder answers "who owns local port P (proto)?" with the owning
 process's uid and *current* effective gid.  A cross-host query is one network
 round trip; the counter feeds experiment E8's cost model.  Queries about
 unowned ports return None (connection will be denied — fail closed).
+
+Failure modes (exercised by :mod:`repro.faults`): when the target host is
+unreachable, its identd is down, or the responder is too slow, the query
+raises :class:`IdentUnavailable` instead of answering.  "No answer" is
+deliberately a *different* outcome from "answered: nobody owns that port"
+(None) — the first is a fault the UBF daemon retries and then degrades on,
+the second is a definitive identity result that maps to a DROP.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.kernel.errors import TimedOut
 from repro.net.firewall import Proto
 from repro.net.stack import Fabric, HostStack
+
+
+class IdentUnavailable(TimedOut):
+    """ETIMEDOUT: the ident query got no answer (host or identd down/slow).
+
+    Subclasses :class:`~repro.kernel.errors.TimedOut` because that is what
+    the querying daemon observes on the wire; kept distinct so the UBF's
+    retry/degradation path can tell an infrastructure fault apart from an
+    ordinary firewall drop.
+    """
 
 
 @dataclass(frozen=True)
@@ -50,7 +68,16 @@ def remote_ident_query(fabric: Fabric, from_host: str, target_host: str,
     Counts one round trip in the fabric metrics (priced by the E8 cost
     model).  The responder is trusted — cluster hosts run the same system
     image, matching the paper's trust model.
+
+    Raises :class:`IdentUnavailable` when the fabric's fault injector says
+    the target host (or its identd) cannot answer right now; the attempt is
+    counted under ``ident_query_failures`` and does **not** count as a
+    completed round trip.
     """
-    fabric.metrics.counter("ident_round_trips").inc()
+    faults = getattr(fabric, "faults", None)
+    if faults is not None and not faults.ident_attempt_ok(target_host):
+        fabric.metrics.counter("ident_query_failures").inc()
+        raise IdentUnavailable(f"ident query to {target_host} unanswered")
     responder = IdentService(fabric.host(target_host))
+    fabric.metrics.counter("ident_round_trips").inc()
     return responder.query_local(proto, port)

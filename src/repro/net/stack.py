@@ -28,6 +28,7 @@ from repro.kernel.errors import (
     PermissionError_,
     TimedOut,
 )
+from repro.faults.injector import FaultInjector
 from repro.kernel.node import LinuxNode
 from repro.kernel.process import Process
 from repro.net.firewall import (
@@ -120,10 +121,14 @@ class Connection:
         if side == "client":
             flow, inbox = self.flow, self._to_server
             dst = self.flow.dst_host
+            sender_uid = self.client_uid
         else:
             flow, inbox = self.flow.reversed(), self._to_client
             dst = self.flow.src_host
-        pkt = Packet(flow, ConnState.NEW, payload_len=len(data))
+            sender_uid = self.server_sock.owner_uid
+        self.fabric.check_transit(flow.src_host, dst)
+        pkt = Packet(flow, ConnState.NEW, payload_len=len(data),
+                     src_uid=sender_uid)
         verdict = self.fabric.host(dst).firewall.evaluate(pkt)
         self.fabric.metrics.counter("packets_sent").inc()
         if verdict is not Verdict.ACCEPT:
@@ -147,7 +152,8 @@ class Connection:
                 self.client_sock.closed = True  # release the ephemeral port
             for host in (self.flow.src_host, self.flow.dst_host):
                 try:
-                    self.fabric.host(host).firewall.conntrack.evict(self.flow)
+                    self.fabric.host(host).firewall.conntrack.evict(
+                        self.flow, reason="close")
                 except NoSuchEntity:  # pragma: no cover - host removed
                     pass
 
@@ -168,9 +174,11 @@ class HostStack:
         self.fabric = fabric
         self.firewall = firewall or Firewall(metrics=fabric.metrics)
         self.firewall.metrics = fabric.metrics
+        self.firewall.conntrack.metrics = fabric.metrics
         self._sockets: dict[tuple[Proto, int], BoundSocket] = {}
         self._abstract: dict[str, BoundSocket] = {}
         self._ephemeral = itertools.count(EPHEMERAL_START)
+        self._abstract_flow_ids = itertools.count(2)  # -1 is the UDS "port"
         node.net = self
         fabric.attach(self)
 
@@ -228,8 +236,14 @@ class HostStack:
         dst = self.fabric.host(dst_host)
         flow = FiveTuple(Proto.TCP, self.hostname, src_sock.port,
                          dst_host, dst_port)
-        pkt = Packet(flow, ConnState.NEW)
+        pkt = Packet(flow, ConnState.NEW, src_uid=process.creds.uid)
         self.fabric.metrics.counter("connect_attempts").inc()
+        try:
+            self.fabric.check_transit(self.hostname, dst_host)
+        except TimedOut:
+            self.close(src_sock)
+            self.fabric.metrics.counter("connects_denied").inc()
+            raise
         verdict = dst.firewall.evaluate(pkt)
         if verdict is not Verdict.ACCEPT:
             self.close(src_sock)
@@ -237,7 +251,7 @@ class HostStack:
             raise TimedOut(f"connect {dst_host}:{dst_port} dropped")
         listener = dst.lookup(Proto.TCP, dst_port)
         if listener is None or not listener.listening:
-            dst.firewall.conntrack.evict(flow)
+            dst.firewall.conntrack.evict(flow, reason="refused")
             self.close(src_sock)
             raise ConnectionRefused(f"{dst_host}:{dst_port}")
         conn = Connection(self.fabric, flow, process, listener,
@@ -266,19 +280,36 @@ class HostStack:
                data: bytes, *, src_sock: BoundSocket | None = None) -> None:
         """Datagram send; every datagram traverses the destination firewall,
         with conntrack providing the reply/established fast path."""
+        auto_bound = src_sock is None
         if src_sock is None:
             src_sock = self.bind_ephemeral(process, Proto.UDP)
         dst = self.fabric.host(dst_host)
         flow = FiveTuple(Proto.UDP, self.hostname, src_sock.port,
                          dst_host, dst_port)
-        pkt = Packet(flow, ConnState.NEW, payload_len=len(data))
+        pkt = Packet(flow, ConnState.NEW, payload_len=len(data),
+                     src_uid=process.creds.uid)
         self.fabric.metrics.counter("packets_sent").inc()
+        try:
+            self.fabric.check_transit(self.hostname, dst_host)
+        except TimedOut:
+            if auto_bound:
+                self.close(src_sock)
+            raise
         verdict = dst.firewall.evaluate(pkt)
         if verdict is not Verdict.ACCEPT:
             self.fabric.metrics.counter("packets_dropped").inc()
+            if auto_bound:
+                self.close(src_sock)
             raise TimedOut(f"datagram to {dst_host}:{dst_port} dropped")
         receiver = dst.lookup(Proto.UDP, dst_port)
         if receiver is None:
+            # Mirror the TCP refusal path: the verdict committed this flow
+            # to conntrack, but no datagram was ever delivered.  Leaving the
+            # entry behind would let the sender reach whoever binds this
+            # port later via the fast path, with no UBF decision.
+            dst.firewall.conntrack.evict(flow, reason="refused")
+            if auto_bound:
+                self.close(src_sock)
             raise ConnectionRefused(f"{dst_host}:{dst_port}/udp")
         receiver.datagrams.append(Datagram(self.hostname, src_sock.port, data))
 
@@ -309,7 +340,12 @@ class HostStack:
             sock = self._abstract[name]
         except KeyError:
             raise ConnectionRefused(f"@{name}") from None
-        flow = FiveTuple(Proto.TCP, self.hostname, -abs(hash(name)) % 65536,
+        # Deterministic flow identity: a per-stack counter in the negative
+        # port space (dst is -1, sources are -2, -3, ...).  A salted
+        # hash(name) here would make flows, conntrack keys and exported
+        # traces differ per PYTHONHASHSEED run.
+        flow = FiveTuple(Proto.TCP, self.hostname,
+                         -next(self._abstract_flow_ids),
                          self.hostname, -1)
         conn = Connection(self.fabric, flow, process, sock)
         # bypass the firewall entirely: local kernel object, not IP
@@ -367,10 +403,27 @@ class Fabric:
 
     def __init__(self, metrics: MetricSet | None = None):
         self.metrics = metrics or MetricSet()
+        self.faults = FaultInjector(self.metrics)
         self._hosts: dict[str, HostStack] = {}
 
     def attach(self, stack: HostStack) -> None:
         self._hosts[stack.hostname] = stack
+
+    def check_transit(self, src_host: str, dst_host: str) -> None:
+        """Can a packet make it from *src_host* to *dst_host* right now?
+
+        Raises :class:`TimedOut` when either endpoint is partitioned off the
+        fabric or the path draws a loss.  Local delivery (src == dst) never
+        transits the fabric and is exempt.
+        """
+        if src_host == dst_host:
+            return
+        for endpoint in (src_host, dst_host):
+            if self.faults.host_unreachable(endpoint):
+                self.metrics.counter("fault_unreachable_drops").inc()
+                raise TimedOut(f"host unreachable: {endpoint}")
+        if self.faults.drop_packet(dst_host):
+            raise TimedOut(f"packet to {dst_host} lost")
 
     def host(self, name: str) -> HostStack:
         try:

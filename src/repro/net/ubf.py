@@ -9,27 +9,54 @@ Data path: the kernel's nfqueue hands the daemon each NEW connection to a
 user port (≥1024).  The daemon then
 
 1. runs the ident query *locally* to learn the listening process's uid/egid,
-2. sends the ident-like query to the *initiating* host to learn the
-   connecting process's uid and groups (one RTT),
-3. applies the same-user-or-egid-member rule,
-4. returns ACCEPT/DROP to the kernel; ACCEPT flows are committed to
+2. checks the decision cache keyed on (initiator uid, listener uid,
+   listener egid) — a hit answers without any network traffic,
+3. on a miss, sends the ident-like query to the *initiating* host to learn
+   the connecting process's uid and groups (one RTT),
+4. applies the same-user-or-egid-member rule,
+5. returns ACCEPT/DROP to the kernel; ACCEPT flows are committed to
    conntrack by the firewall so later packets never reach the daemon.
 
-A small decision cache ((initiator uid, listener uid, listener egid) →
-verdict) is an ablation knob for E8: with it, repeated same-principal
-connections skip the ident RTT.  The cache is conservative — entries are
-invalidated when any listener changes egid is *not* modeled; instead cached
-entries key on the listener's egid value itself, so an ``sg`` to a new group
-produces a different key and a fresh decision.
+The cache (an ablation knob for E8) keys on the packet's kernel-stamped
+initiator uid — every cluster host runs the same root-administered system
+image, so the stamp shares the trust basis of the ident answer it stands in
+for.  A hit skips the ident RTT entirely; that is the whole point of the
+cache, and the regression test pins it.  The cache is conservative —
+listener egid changes are handled by keying on the egid *value*, so an
+``sg`` to a new group produces a different key and a fresh (authoritative)
+decision.  Packets arriving without a uid stamp always take the full path.
+
+Degradation: when the initiating host (or its identd) cannot answer, the
+remote query raises :class:`~repro.net.ident.IdentUnavailable`.  The daemon
+retries with backoff (``ident_retries`` × ``ident_backoff_us``) and, if the
+fault persists, issues a *degraded* verdict: DROP under the default
+fail-closed policy, ACCEPT under ``fail_open=True`` (the availability-over-
+separation ablation).  Degraded verdicts are never cached — they reflect a
+fault, not an identity decision — and are counted under
+``ubf_degraded_verdicts{policy=}`` so posture dashboards see them.
+
+Crash/restart: ``crash()`` detaches the daemon from the nfqueue (the kernel
+then fails closed for NEW connections — no handler means DROP) while
+conntrack keeps established flows alive.  ``restart()`` rebinds the exact
+handler that was detached (monitoring wrappers installed by
+``instrument_cluster`` survive), flushes the decision cache (stale across a
+restart) and re-syncs against the surviving conntrack table — no manual
+flush is ever needed.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.kernel.errors import NoSuchEntity
 from repro.kernel.users import UserDB
 from repro.net.firewall import Packet, Verdict
-from repro.net.ident import IdentService, remote_ident_query
+from repro.net.ident import (
+    IdentReply,
+    IdentService,
+    IdentUnavailable,
+    remote_ident_query,
+)
 from repro.net.stack import Fabric, HostStack
 
 
@@ -53,14 +80,59 @@ class UBFDaemon:
     fabric: Fabric
     userdb: UserDB
     cache_enabled: bool = True
+    #: degraded-mode policy: ACCEPT (True) or DROP (False) when the
+    #: initiator's identity cannot be learned due to an infrastructure fault.
+    #: The paper's separation-first posture defaults to fail-closed.
+    fail_open: bool = False
+    #: extra ident attempts after the first failure, each preceded by a
+    #: simulated exponential backoff (ident_backoff_us * 2^attempt).
+    ident_retries: int = 2
+    ident_backoff_us: float = 200.0
     #: optional span source (repro.obs.trace.Tracer); None = no tracing cost
     tracer: object | None = None
     log: list[UBFDecisionLog] = field(default_factory=list)
+    alive: bool = True
     _cache: dict[tuple[int, int, int], Verdict] = field(default_factory=dict)
+    _crashed_handler: object | None = field(default=None, repr=False)
 
     def install(self) -> "UBFDaemon":
         self.stack.firewall.bind_nfqueue(self.decide)
         return self
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def crash(self) -> None:
+        """The daemon process dies: the nfqueue loses its handler.
+
+        From the kernel's point of view this is the fail-safe posture the
+        design promises — NEW connections to user ports now DROP (nobody to
+        ask), while conntrack-established flows keep flowing untouched.
+        """
+        if not self.alive:
+            return
+        self._crashed_handler = self.stack.firewall.unbind_nfqueue()
+        self.alive = False
+        self.fabric.metrics.counter("ubf_crashes").inc()
+
+    def restart(self) -> None:
+        """Restart after a crash: rebind, flush the cache, re-sync.
+
+        Rebinds the *same* handler that was detached, so any monitoring
+        wrapper installed around ``decide`` survives the bounce.  The
+        decision cache is dropped (identity state from before the crash is
+        stale); the conntrack table is *kept* — established flows never
+        noticed the outage and need no manual flush.
+        """
+        if self.alive:
+            return
+        handler = self._crashed_handler or self.decide
+        self._crashed_handler = None
+        self.stack.firewall.bind_nfqueue(handler)
+        self.flush_cache()
+        self.alive = True
+        self.fabric.metrics.counter("ubf_restarts").inc()
+        self.fabric.metrics.gauge("ubf_resync_flows").set(
+            len(self.stack.firewall.conntrack))
 
     # -- decision ---------------------------------------------------------------
 
@@ -71,9 +143,16 @@ class UBFDaemon:
             "ubf.decide", host=self.stack.hostname,
             src=f"{pkt.flow.src_host}:{pkt.flow.src_port}",
             dst=f"{pkt.flow.dst_host}:{pkt.flow.dst_port}")
-        verdict = self._decide(pkt)
+        try:
+            verdict = self._decide(pkt)
+        except Exception as exc:
+            # The span must finish even when the decision path blows up,
+            # or the tracer leaks an open span per failed decision.
+            self.tracer.finish(span, status="error",
+                               error=type(exc).__name__)
+            raise
         self.tracer.finish(span, verdict=verdict.value,
-                           reason=self.log[-1].reason)
+                           reason=self.log[-1].reason if self.log else "")
         return verdict
 
     def _decide(self, pkt: Packet) -> Verdict:
@@ -88,25 +167,70 @@ class UBFDaemon:
         if listener.uid == 0:
             return self._log(pkt, None, listener.uid, listener.egid,
                              Verdict.ACCEPT, "root-owned service")
-        initiator = remote_ident_query(self.fabric, self.stack.hostname,
-                                       flow.src_host, flow.proto,
-                                       flow.src_port)
+        # Cache first: a hit answers from the kernel-stamped initiator uid
+        # without touching the network.  (The stamp is trusted for the same
+        # reason the ident answer is — same root-administered system image.)
+        if self.cache_enabled and pkt.src_uid is not None:
+            key = (pkt.src_uid, listener.uid, listener.egid)
+            if key in self._cache:
+                self.fabric.metrics.counter("ubf_cache_hits").inc()
+                return self._log(pkt, pkt.src_uid, listener.uid,
+                                 listener.egid, self._cache[key], "cached")
+        try:
+            initiator = self._remote_ident(flow)
+        except IdentUnavailable as exc:
+            return self._degraded(pkt, listener, exc)
         if initiator is None:
             return self._log(pkt, None, listener.uid, listener.egid,
                              Verdict.DROP, "initiator unidentifiable")
-        key = (initiator.uid, listener.uid, listener.egid)
-        if self.cache_enabled and key in self._cache:
-            self.fabric.metrics.counter("ubf_cache_hits").inc()
-            verdict = self._cache[key]
-            return self._log(pkt, initiator.uid, listener.uid,
-                             listener.egid, verdict, "cached")
         verdict, reason = self._rule(initiator.uid, initiator.groups,
                                      listener.uid, listener.egid)
         if self.cache_enabled:
-            self._cache[key] = verdict
+            self._cache[initiator.uid, listener.uid, listener.egid] = verdict
         self.fabric.metrics.counter("ubf_full_decisions").inc()
         return self._log(pkt, initiator.uid, listener.uid, listener.egid,
                          verdict, reason)
+
+    def _remote_ident(self, flow) -> IdentReply | None:
+        """One authoritative ident exchange, with retry + backoff.
+
+        :class:`IdentUnavailable` (identd down/slow, host partitioned) is
+        retried ``ident_retries`` times with exponential backoff; an unknown
+        peer host is converted to the same fault without retries (it cannot
+        get better by waiting).  The *final* failure propagates to the
+        degraded-verdict path.
+        """
+        attempts = 1 + max(0, self.ident_retries)
+        for attempt in range(attempts):
+            try:
+                return remote_ident_query(self.fabric, self.stack.hostname,
+                                          flow.src_host, flow.proto,
+                                          flow.src_port)
+            except NoSuchEntity as exc:
+                raise IdentUnavailable(
+                    f"peer host {flow.src_host!r} unknown") from exc
+            except IdentUnavailable:
+                self.fabric.metrics.counter("ubf_ident_timeouts").inc()
+                if attempt + 1 >= attempts:
+                    raise
+                self.fabric.metrics.counter("ubf_ident_retries").inc()
+                self.fabric.metrics.samples("ubf_ident_backoff_us").add(
+                    self.ident_backoff_us * (2 ** attempt))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def _degraded(self, pkt: Packet, listener: IdentReply,
+                  exc: IdentUnavailable) -> Verdict:
+        """Identity unavailable after retries: apply the degradation policy.
+
+        Never cached — a degraded verdict reflects an infrastructure fault,
+        not an identity decision, and must not outlive the fault.
+        """
+        policy = "fail-open" if self.fail_open else "fail-closed"
+        verdict = Verdict.ACCEPT if self.fail_open else Verdict.DROP
+        self.fabric.metrics.counter("ubf_degraded_verdicts",
+                                    policy=policy).inc()
+        return self._log(pkt, None, listener.uid, listener.egid, verdict,
+                         f"degraded: {exc} ({policy})")
 
     def _rule(self, init_uid: int, init_groups: frozenset[int],
               listen_uid: int, listen_egid: int) -> tuple[Verdict, str]:

@@ -65,11 +65,12 @@ def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
 
     Each row: ``user``, ``uid``, ``denials``, ``kinds`` (kind → count),
     ``distinct_targets``, ``first``/``last`` event times.  ADMIN escalation
-    records are excluded (they are audit, not denial).
+    records are excluded (they are audit, not denial), as are DEGRADED
+    verdicts (those blame failing infrastructure, not the principal).
     """
     per_uid: dict[int, list] = defaultdict(list)
     for e in log.events:
-        if e.kind is not EventKind.ADMIN:
+        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED):
             per_uid[e.subject_uid].append(e)
     rows = []
     for uid, evs in per_uid.items():
@@ -181,6 +182,36 @@ def ops_dashboard(cluster, *, window: float | None = None,
                   r["distinct_targets"]] for r in posture]))
         else:
             lines.append("No denials recorded for any principal.")
+        lines.append("")
+
+    # -- degradation posture -----------------------------------------------
+    lines += ["## Degradation posture", ""]
+    faults = getattr(cluster.fabric, "faults", None)
+    active = faults.active() if faults is not None else []
+    if active:
+        lines.append(_md_table(
+            ["fault", "host", "detail"],
+            [[f.kind.value, f.host, f.describe()] for f in active]))
+    else:
+        lines.append("No active faults.")
+    lines.append("")
+    dead = sorted(name for name, d in cluster.ubf_daemons.items()
+                  if not d.alive)
+    if dead:
+        lines.append(f"UBF daemons down: {', '.join(dead)} "
+                     "(kernel fails closed for NEW connections there).")
+        lines.append("")
+    rows = []
+    for family in ("ubf_degraded_verdicts", "ubf_ident_retries",
+                   "ubf_ident_timeouts", "ident_query_failures",
+                   "conntrack_evictions_total", "ubf_crashes",
+                   "ubf_restarts", "fault_unreachable_drops",
+                   "fault_packets_dropped"):
+        for metric in sorted(metrics.family(family),
+                             key=lambda m: (m.name, m.labels)):
+            rows.append([_series_label(metric), int(metric.value)])
+    if rows:
+        lines.append(_md_table(["series", "value"], rows))
         lines.append("")
 
     # -- traces ------------------------------------------------------------

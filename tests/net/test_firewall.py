@@ -85,6 +85,70 @@ class TestConntrack:
         assert fw.conntrack.lookup(flow()) is None
 
 
+class TestConntrackBound:
+    def test_capacity_enforced_lru(self):
+        from repro.sim.metrics import MetricSet
+        m = MetricSet()
+        ct = ConntrackTable(capacity=3, metrics=m)
+        flows = [flow(src_port=50000 + i) for i in range(5)]
+        for f in flows:
+            ct.commit(f)
+        assert len(ct) == 3
+        # oldest two fell off; newest three survive
+        assert ct.lookup(flows[0]) is None
+        assert ct.lookup(flows[1]) is None
+        assert all(ct.lookup(f) is not None for f in flows[2:])
+        assert m.counter("conntrack_evictions_total", reason="lru").value == 2
+
+    def test_lookup_refreshes_lru_order(self):
+        ct = ConntrackTable(capacity=2)
+        a, b, c = (flow(src_port=50000 + i) for i in range(3))
+        ct.commit(a)
+        ct.commit(b)
+        ct.lookup(a)  # a is now most-recently-used
+        ct.commit(c)  # evicts b, not a
+        assert ct.lookup(a) is not None
+        assert ct.lookup(b) is None
+
+    def test_set_capacity_trims_and_counts(self):
+        from repro.sim.metrics import MetricSet
+        m = MetricSet()
+        ct = ConntrackTable(metrics=m)
+        for i in range(6):
+            ct.commit(flow(src_port=50000 + i))
+        evicted = ct.set_capacity(2, reason="pressure")
+        assert evicted == 4 and len(ct) == 2
+        assert m.counter("conntrack_evictions_total",
+                         reason="pressure").value == 4
+        assert m.gauge("conntrack_table_size").value == 2
+
+    def test_eviction_reasons_labeled(self):
+        from repro.sim.metrics import MetricSet
+        m = MetricSet()
+        ct = ConntrackTable(metrics=m)
+        ct.commit(flow())
+        ct.evict(flow(), reason="close")
+        ct.commit(flow(src_port=50001))
+        ct.evict(flow(src_port=50001), reason="refused")
+        ct.evict(flow(src_port=50001), reason="refused")  # no-op: gone
+        assert m.counter("conntrack_evictions_total",
+                         reason="close").value == 1
+        assert m.counter("conntrack_evictions_total",
+                         reason="refused").value == 1
+
+    def test_evicted_flow_is_new_again(self):
+        """An LRU-evicted flow's next packet misses the fast path and
+        re-runs the rules — the degradation is a re-decision, not a drop."""
+        fw = Firewall(rules=[Rule(Verdict.ACCEPT)])
+        fw.conntrack.capacity = 1
+        fw.evaluate(Packet(flow(src_port=50000), ConnState.NEW))
+        fw.evaluate(Packet(flow(src_port=50001), ConnState.NEW))  # evicts #1
+        assert fw.conntrack.lookup(flow(src_port=50000)) is None
+        assert fw.evaluate(
+            Packet(flow(src_port=50000), ConnState.NEW)) is Verdict.ACCEPT
+        assert fw.conntrack.lookup(flow(src_port=50000)) is not None
+
+
 class TestNfqueue:
     def test_handler_verdict_respected(self):
         fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
@@ -103,6 +167,16 @@ class TestNfqueue:
 
     def test_queue_without_daemon_fails_closed(self):
         fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
+        assert fw.evaluate(Packet(flow(), ConnState.NEW)) is Verdict.DROP
+
+    def test_unbind_returns_handler_and_fails_closed(self):
+        """unbind_nfqueue hands back the bound callable (so a restart can
+        rebind a wrapped handler) and leaves the queue failing closed."""
+        fw = Firewall(rules=[Rule(Verdict.NFQUEUE)])
+        handler = lambda pkt: Verdict.ACCEPT  # noqa: E731
+        fw.bind_nfqueue(handler)
+        assert fw.unbind_nfqueue() is handler
+        assert fw.unbind_nfqueue() is None
         assert fw.evaluate(Packet(flow(), ConnState.NEW)) is Verdict.DROP
 
 

@@ -176,6 +176,30 @@ class TestUdp:
         assert nodes["c1"].net.recvfrom(cli_sock).data == b"a"
 
 
+class TestAbstractUds:
+    def test_flow_identity_deterministic(self, open_fabric, userdb):
+        """Abstract-UDS flows get counter-allocated negative ports, not a
+        PYTHONHASHSEED-salted hash of the name — flow keys, conntrack
+        contents and exported traces must be identical across runs."""
+        _, nodes, _ = open_fabric
+        alice = proc_on(nodes, "c1", userdb, "alice")
+        nodes["c1"].net.abstract_bind(alice, "svc")
+        first = nodes["c1"].net.abstract_connect(alice, "svc")
+        second = nodes["c1"].net.abstract_connect(alice, "svc")
+        flows = [c._conn.flow for c in (first, second)]
+        assert [f.src_port for f in flows] == [-2, -3]
+        assert all(f.dst_port == -1 for f in flows)
+        assert flows[0] != flows[1]  # concurrent connects stay distinct
+
+    def test_roundtrip(self, open_fabric, userdb):
+        _, nodes, _ = open_fabric
+        alice = proc_on(nodes, "c1", userdb, "alice")
+        nodes["c1"].net.abstract_bind(alice, "ipc")
+        conn = nodes["c1"].net.abstract_connect(alice, "ipc")
+        conn.send(b"hello")
+        assert nodes["c1"].net.abstract_accept("ipc").recv() == b"hello"
+
+
 class TestSocketAPI:
     def test_endpoint_via_syscalls(self, open_fabric, userdb):
         from repro.kernel import SyscallInterface

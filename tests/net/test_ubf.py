@@ -3,7 +3,7 @@ conntrack amortisation, cache, and cross-user denial semantics."""
 
 import pytest
 
-from repro.kernel.errors import TimedOut
+from repro.kernel.errors import ConnectionRefused, TimedOut
 from repro.net import Proto, Verdict, firewall_cost_us
 
 from tests.net.conftest import build_fabric, proc_on
@@ -156,6 +156,9 @@ class TestConntrackAmortisation:
 
 class TestDecisionCache:
     def test_cache_skips_ident(self, userdb):
+        """A cache hit must answer without the ident RTT — the whole point
+        of the cache (regression: the RTT used to be paid before the cache
+        was even consulted)."""
         fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
                                         cache=True)
         serve(nodes, userdb, "c2", "alice", 5000)
@@ -163,9 +166,51 @@ class TestDecisionCache:
         for _ in range(4):
             nodes["c1"].net.connect(client, "c2", 5000)
         rep = fabric.metrics.report()
-        assert rep["ident_round_trips"] == 4  # remote query still made
+        assert rep["ident_round_trips"] == 1  # only the first (the miss)
         assert rep["ubf_cache_hits"] == 3
         assert rep["ubf_full_decisions"] == 1
+
+    def test_cache_hit_adds_no_round_trip(self, userdb):
+        """The RTT counter is frozen across a hit, not merely slower-growing."""
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                        cache=True)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        client = proc_on(nodes, "c1", userdb, "alice")
+        nodes["c1"].net.connect(client, "c2", 5000)  # miss: pays the RTT
+        rtts_after_miss = fabric.metrics.report()["ident_round_trips"]
+        nodes["c1"].net.connect(client, "c2", 5000)  # hit
+        rep = fabric.metrics.report()
+        assert rep["ident_round_trips"] == rtts_after_miss
+        assert rep["ubf_cache_hits"] == 1
+
+    def test_cached_denial_still_denies(self, userdb):
+        """Hits serve DROPs too: bob is denied on the miss and on the hit,
+        and the hit pays no RTT."""
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                        cache=True)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        bob = proc_on(nodes, "c1", userdb, "bob")
+        for _ in range(2):
+            with pytest.raises(TimedOut):
+                nodes["c1"].net.connect(bob, "c2", 5000)
+        rep = fabric.metrics.report()
+        assert rep["ident_round_trips"] == 1
+        assert rep["ubf_cache_hits"] == 1
+        assert rep["ubf_denials"] == 2
+
+    def test_cache_does_not_leak_across_users(self, userdb):
+        """alice's cached ACCEPT must not answer for bob from the same
+        host: the key includes the initiator's identity."""
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
+                                        cache=True)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                "c2", 5000)
+        with pytest.raises(TimedOut):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "bob"),
+                                    "c2", 5000)
+        # bob's decision was a fresh full one, not alice's cached entry
+        assert fabric.metrics.report()["ubf_full_decisions"] == 2
 
     def test_cache_disabled_full_decision_each_time(self, userdb):
         fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True,
@@ -190,6 +235,81 @@ class TestDecisionCache:
         carol.creds = carol.creds.with_egid(fusion)  # sg fusion
         conn = nodes["c1"].net.connect(dave, "c2", 5000)
         assert conn.open
+
+
+class TestConntrackHygiene:
+    def test_udp_refusal_leaves_no_stale_entry(self, userdb):
+        """Regression: an accepted-but-refused datagram (no receiver) used
+        to leave its conntrack entry behind.  Whoever bound that port later
+        was then reachable via the fast path with **no UBF decision** —
+        here bob binds after alice's refusal, and alice must still be
+        denied by the UBF, not silently delivered."""
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True)
+        alice = proc_on(nodes, "c1", userdb, "alice")
+        src = nodes["c1"].net.bind_ephemeral(alice, Proto.UDP)
+        with pytest.raises(ConnectionRefused):
+            nodes["c1"].net.sendto(alice, "c2", 7000, b"x", src_sock=src)
+        assert len(nodes["c2"].net.firewall.conntrack) == 0
+        # bob now binds the port alice probed
+        inbox, _ = serve(nodes, userdb, "c2", "bob", 7000, Proto.UDP)
+        with pytest.raises(TimedOut):  # fresh UBF decision: cross-user DROP
+            nodes["c1"].net.sendto(alice, "c2", 7000, b"x", src_sock=src)
+        assert not inbox.datagrams
+
+    def test_tcp_refusal_leaves_no_stale_entry(self, userdb):
+        """The TCP twin: a refused connect must evict its conntrack entry."""
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True)
+        alice = proc_on(nodes, "c1", userdb, "alice")
+        with pytest.raises(ConnectionRefused):
+            nodes["c1"].net.connect(alice, "c2", 7000)
+        assert len(nodes["c2"].net.firewall.conntrack) == 0
+
+    def test_close_evicts_both_hosts(self, userdb):
+        fabric, nodes, _ = build_fabric(userdb, ["c1", "c2"], ubf=True)
+        listener, _ = serve(nodes, userdb, "c2", "alice", 5000)
+        conn = nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                       "c2", 5000)
+        assert len(nodes["c2"].net.firewall.conntrack) == 1
+        conn.close()
+        assert len(nodes["c1"].net.firewall.conntrack) == 0
+        assert len(nodes["c2"].net.firewall.conntrack) == 0
+
+
+class TestDecisionTracing:
+    def test_span_finishes_when_decide_raises(self, userdb, monkeypatch):
+        """Regression: a raising _decide used to leak the span open (the
+        reason tag was read after the call, so finish was never reached)."""
+        from repro.obs.trace import Tracer
+
+        fabric, nodes, daemons = build_fabric(userdb, ["c1", "c2"],
+                                              ubf=True)
+        daemon = daemons["c2"]
+        daemon.tracer = Tracer(clock=lambda: 0.0)
+        monkeypatch.setattr(daemon, "_decide",
+                            lambda pkt: (_ for _ in ()).throw(
+                                RuntimeError("boom")))
+        serve(nodes, userdb, "c2", "alice", 5000)
+        with pytest.raises(RuntimeError):
+            nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                    "c2", 5000)
+        spans = [s for s in daemon.tracer.spans if s.name == "ubf.decide"]
+        assert spans and all(s.finished for s in spans)
+        assert spans[-1].tags["status"] == "error"
+        assert spans[-1].tags["error"] == "RuntimeError"
+
+    def test_span_tags_verdict_and_reason(self, userdb):
+        from repro.obs.trace import Tracer
+
+        fabric, nodes, daemons = build_fabric(userdb, ["c1", "c2"],
+                                              ubf=True)
+        daemons["c2"].tracer = Tracer(clock=lambda: 0.0)
+        serve(nodes, userdb, "c2", "alice", 5000)
+        nodes["c1"].net.connect(proc_on(nodes, "c1", userdb, "alice"),
+                                "c2", 5000)
+        span = [s for s in daemons["c2"].tracer.finished_spans()
+                if s.name == "ubf.decide"][-1]
+        assert span.tags["verdict"] == "accept"
+        assert span.tags["reason"] == "same user"
 
 
 class TestPortCollision:

@@ -1,0 +1,13 @@
+"""Hypothesis profile for the property suites.
+
+Deadlines are disabled directory-wide: an example's first execution can
+pay one-time lazy-import or warm-up costs that have nothing to do with
+the property under test, and hypothesis reports the resulting timing
+flake as a FlakyFailure.  The heavier suites already opted out with
+``deadline=None``; this makes that the floor for all of tests/prop.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro-prop", deadline=None)
+settings.load_profile("repro-prop")

@@ -1,0 +1,95 @@
+"""Property-based tests: conntrack table semantics under arbitrary
+commit/lookup/evict interleavings, with and without an LRU bound."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.net import ConntrackTable, FiveTuple, Proto
+from repro.sim.metrics import MetricSet
+
+
+def flow(i: int) -> FiveTuple:
+    return FiveTuple(Proto.TCP, "c1", 50000 + i, "c2", 5000)
+
+
+flow_ids = st.integers(min_value=0, max_value=20)
+
+
+class TestConntrackProperties:
+    @given(ids=st.lists(flow_ids, max_size=40))
+    def test_bidirectional_lookup(self, ids):
+        ct = ConntrackTable()
+        for i in ids:
+            ct.commit(flow(i))
+        for i in set(ids):
+            assert ct.lookup(flow(i)) is not None
+            assert ct.lookup(flow(i).reversed()) is not None
+
+    @given(ids=st.lists(flow_ids, max_size=40),
+           capacity=st.integers(min_value=1, max_value=8))
+    def test_capacity_never_exceeded(self, ids, capacity):
+        """Bound invariant, checked against an independent LRU oracle."""
+        from collections import OrderedDict
+
+        m = MetricSet()
+        ct = ConntrackTable(capacity=capacity, metrics=m)
+        oracle: OrderedDict = OrderedDict()
+        expected_evictions = 0
+        for i in ids:
+            ct.commit(flow(i))
+            assert len(ct) <= capacity
+            oracle[flow(i)] = True
+            oracle.move_to_end(flow(i))
+            while len(oracle) > capacity:
+                oracle.popitem(last=False)
+                expected_evictions += 1
+        assert ct.flows() == list(oracle)
+        assert m.counter("conntrack_evictions_total",
+                         reason="lru").value == expected_evictions
+
+    @given(ids=st.lists(flow_ids, max_size=40),
+           capacity=st.integers(min_value=1, max_value=8))
+    def test_survivors_are_most_recent(self, ids, capacity):
+        ct = ConntrackTable(capacity=capacity)
+        for i in ids:
+            ct.commit(flow(i))
+        # dedupe keeping last occurrence: the LRU survivors
+        recent = list(dict.fromkeys(reversed(ids)))[:capacity]
+        for i in recent:
+            assert ct.lookup(flow(i)) is not None
+
+    @given(ids=st.lists(flow_ids, max_size=40),
+           evict_ids=st.lists(flow_ids, max_size=40),
+           reversed_evict=st.booleans())
+    def test_evicted_flows_are_gone_others_stay(self, ids, evict_ids,
+                                                reversed_evict):
+        ct = ConntrackTable()
+        for i in ids:
+            ct.commit(flow(i))
+        for i in evict_ids:
+            ct.evict(flow(i).reversed() if reversed_evict else flow(i),
+                     reason="close")
+        for i in set(ids):
+            if i in evict_ids:
+                assert ct.lookup(flow(i)) is None
+            else:
+                assert ct.lookup(flow(i)) is not None
+
+    @given(ids=st.lists(flow_ids, max_size=40))
+    def test_disabled_table_stays_empty(self, ids):
+        ct = ConntrackTable(enabled=False)
+        for i in ids:
+            ct.commit(flow(i))
+            assert ct.lookup(flow(i)) is None
+        assert len(ct) == 0
+
+    @given(ids=st.lists(flow_ids, max_size=40),
+           capacity=st.integers(min_value=0, max_value=8))
+    def test_set_capacity_returns_trim_count(self, ids, capacity):
+        ct = ConntrackTable()
+        for i in ids:
+            ct.commit(flow(i))
+        before = len(ct)
+        evicted = ct.set_capacity(capacity, reason="pressure")
+        assert evicted == max(0, before - capacity)
+        assert len(ct) == min(before, capacity)
