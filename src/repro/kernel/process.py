@@ -70,11 +70,41 @@ class ProcessTable:
         self.node_name = node_name
         self._pids = itertools.count(2)
         self._procs: dict[int, Process] = {}
+        # Live-process indexes: procfs queries for a non-exempt viewer and
+        # the scheduler epilog must not scan every process ever spawned.
+        self._live: dict[int, Process] = {}          # pid -> live process
+        self._by_uid: dict[int, dict[int, Process]] = {}
+        self._by_job: dict[int, set[int]] = {}       # job_id -> live pids
+        self._rss_mb = 0
         # pid 1: init, root-owned, always present
-        self._procs[1] = Process(pid=1, ppid=0,
-                                 creds=Credentials(uid=0, egid=0,
-                                                   groups=frozenset({0})),
-                                 argv=["/sbin/init"], is_daemon=True)
+        self._index(Process(pid=1, ppid=0,
+                            creds=Credentials(uid=0, egid=0,
+                                              groups=frozenset({0})),
+                            argv=["/sbin/init"], is_daemon=True))
+
+    def _index(self, proc: Process) -> None:
+        self._procs[proc.pid] = proc
+        self._live[proc.pid] = proc
+        self._by_uid.setdefault(proc.creds.uid, {})[proc.pid] = proc
+        if proc.job_id is not None:
+            self._by_job.setdefault(proc.job_id, set()).add(proc.pid)
+        self._rss_mb += proc.rss_mb
+
+    def _unindex(self, proc: Process) -> None:
+        if self._live.pop(proc.pid, None) is None:
+            return
+        owned = self._by_uid.get(proc.creds.uid)
+        if owned is not None:
+            owned.pop(proc.pid, None)
+            if not owned:
+                del self._by_uid[proc.creds.uid]
+        if proc.job_id is not None:
+            pids = self._by_job.get(proc.job_id)
+            if pids is not None:
+                pids.discard(proc.pid)
+                if not pids:
+                    del self._by_job[proc.job_id]
+        self._rss_mb -= proc.rss_mb
 
     def spawn(self, creds: Credentials, argv: list[str], *, ppid: int = 1,
               cwd: str = "/", job_id: int | None = None,
@@ -84,7 +114,7 @@ class ProcessTable:
         proc = Process(pid=pid, ppid=ppid, creds=creds, argv=list(argv),
                        cwd=cwd, job_id=job_id, is_daemon=daemon,
                        rss_mb=rss_mb, environ=dict(environ or {}))
-        self._procs[pid] = proc
+        self._index(proc)
         return proc
 
     def get(self, pid: int) -> Process:
@@ -98,10 +128,10 @@ class ProcessTable:
 
     def pids(self) -> list[int]:
         """All live pids — the *kernel's* view; procfs filters this."""
-        return sorted(p.pid for p in self._procs.values() if p.alive)
+        return sorted(self._live)
 
     def processes(self) -> list[Process]:
-        return [self._procs[p] for p in self.pids()]
+        return [self._live[p] for p in sorted(self._live)]
 
     def kill(self, sender: Credentials, pid: int, sig: int = SIGTERM) -> None:
         """Signal *pid*; unprivileged senders need a uid match."""
@@ -117,20 +147,24 @@ class ProcessTable:
 
     def reap(self, pid: int, exit_code: int = 0) -> None:
         proc = self.get(pid)
+        self._unindex(proc)
         proc.state = ProcState.DEAD
         proc.exit_code = exit_code
 
     def kill_job(self, job_id: int) -> list[int]:
-        """Kernel-side cleanup of every process of a job (scheduler epilog)."""
-        killed = []
-        for proc in list(self._procs.values()):
-            if proc.job_id == job_id and proc.alive:
-                self.reap(proc.pid, exit_code=-SIGKILL)
-                killed.append(proc.pid)
+        """Kernel-side cleanup of every process of a job (scheduler epilog).
+
+        O(job's own processes) via the per-job index — not a scan of every
+        process ever spawned on the node."""
+        killed = sorted(self._by_job.get(job_id, ()))
+        for pid in killed:
+            self.reap(pid, exit_code=-SIGKILL)
         return killed
 
     def of_user(self, uid: int) -> list[Process]:
-        return [p for p in self.processes() if p.creds.uid == uid]
+        """Live processes of *uid*, pid-sorted — O(own processes)."""
+        owned = self._by_uid.get(uid, {})
+        return [owned[p] for p in sorted(owned)]
 
     def total_rss_mb(self) -> int:
-        return sum(p.rss_mb for p in self.processes())
+        return self._rss_mb

@@ -57,12 +57,21 @@ class PsEntry:
 
 
 class ProcFS:
-    """Filtered view over a :class:`ProcessTable`."""
+    """Filtered view over a :class:`ProcessTable`.
+
+    For a non-exempt viewer under hidepid the answer only ever contains the
+    viewer's own processes, so listings use the table's per-uid index and
+    touch O(own processes) instead of the whole node (the E24 procfs hot
+    path).  ``naive=True`` keeps the original filter-everything scans as the
+    differential-testing reference.
+    """
 
     def __init__(self, table: ProcessTable,
-                 options: ProcMountOptions = ProcMountOptions()):
+                 options: ProcMountOptions = ProcMountOptions(),
+                 naive: bool = False):
         self.table = table
         self.options = options
+        self.naive = naive
 
     # -- visibility predicates ----------------------------------------------
 
@@ -88,6 +97,10 @@ class ProcFS:
 
     def list_pids(self, viewer: Credentials) -> list[int]:
         """Directory listing of /proc — the pids *viewer* can see."""
+        if (not self.naive and self.options.hidepid == 2
+                and not self._exempt(viewer)):
+            # hidepid=2 hides everything but the viewer's own processes.
+            return [p.pid for p in self.table.of_user(viewer.uid)]
         return [p.pid for p in self.table.processes()
                 if self.pid_visible(viewer, p)]
 
@@ -130,20 +143,25 @@ class ProcFS:
         (real ``ps`` silently skips unreadable /proc entries, so they are
         omitted from output just like under hidepid=2 — the difference is
         observable via :meth:`list_pids`)."""
-        rows = []
-        for proc in self.table.processes():
-            if not self.pid_visible(viewer, proc):
-                continue
-            if not self.pid_readable(viewer, proc):
-                continue
-            rows.append(PsEntry(pid=proc.pid, uid=proc.creds.uid,
-                                comm=proc.comm, cmdline=proc.cmdline,
-                                state=proc.state.value, rss_mb=proc.rss_mb))
-        return rows
+        if (not self.naive and self.options.hidepid in (1, 2)
+                and not self._exempt(viewer)):
+            # Only the viewer's own rows survive the readability filter.
+            procs = self.table.of_user(viewer.uid)
+        else:
+            procs = [p for p in self.table.processes()
+                     if self.pid_visible(viewer, p)
+                     and self.pid_readable(viewer, p)]
+        return [PsEntry(pid=proc.pid, uid=proc.creds.uid,
+                        comm=proc.comm, cmdline=proc.cmdline,
+                        state=proc.state.value, rss_mb=proc.rss_mb)
+                for proc in procs]
 
     def visible_users(self, viewer: Credentials) -> set[int]:
         """Distinct uids whose activity *viewer* can observe — the headline
         information-leak metric of experiment E1."""
+        if (not self.naive and self.options.hidepid in (1, 2)
+                and not self._exempt(viewer)):
+            return {viewer.uid} if self.table.of_user(viewer.uid) else set()
         return {p.uid for p in self.ps(viewer)}
 
     # -- aggregate files (hidepid does NOT hide these) ------------------------

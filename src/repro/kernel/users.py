@@ -142,6 +142,9 @@ class UserDB:
 
     def __init__(self, upg: bool = True):
         self.upg = upg
+        #: bumped on every membership-affecting mutation; consumers caching
+        #: derived views (e.g. the UBF's per-egid allow-sets) key on it.
+        self.generation = 0
         self._users: dict[str, User] = {}
         self._users_by_uid: dict[int, User] = {}
         self._groups: dict[str, Group] = {}
@@ -183,6 +186,7 @@ class UserDB:
         user = User(name, uid, gid, is_support_staff=support_staff)
         self._users[name] = user
         self._users_by_uid[uid] = user
+        self.generation += 1
         return user
 
     def add_project_group(self, name: str, steward: User) -> Group:
@@ -195,6 +199,7 @@ class UserDB:
         gid = self._next_gid
         self._next_gid += 1
         grp = Group(name, gid, members={steward.uid}, stewards={steward.uid})
+        self.generation += 1
         return self._register_group(grp)
 
     def add_to_project(self, group: Group | str, user: User, *, approver: User) -> None:
@@ -207,6 +212,7 @@ class UserDB:
                 f"{approver.name} is not a data steward of {grp.name!r}"
             )
         grp.members.add(user.uid)
+        self.generation += 1
 
     def remove_from_project(self, group: Group | str, user: User, *, approver: User) -> None:
         grp = self.group(group) if isinstance(group, str) else group
@@ -217,11 +223,13 @@ class UserDB:
                 f"{approver.name} is not a data steward of {grp.name!r}"
             )
         grp.members.discard(user.uid)
+        self.generation += 1
 
     def add_system_group(self, name: str, members: set[int] | None = None) -> Group:
         """Create a plain system group (e.g. the hidepid exemption group)."""
         gid = self._next_gid
         self._next_gid += 1
+        self.generation += 1
         return self._register_group(Group(name, gid, members=set(members or ())))
 
     # -- lookup ------------------------------------------------------------

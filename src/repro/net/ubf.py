@@ -42,6 +42,21 @@ handler that was detached (monitoring wrappers installed by
 ``instrument_cluster`` survive), flushes the decision cache (stale across a
 restart) and re-syncs against the surviving conntrack table — no manual
 flush is ever needed.
+
+Scale-out hot path (E24): ``decide_batch`` takes a burst of queued packets
+and **coalesces** ident queries — packets from the same remote (host, proto,
+src-port), i.e. the same initiating process, park as waiters on a single
+upstream exchange and all receive verdicts derived from its one reply
+(savings counted under ``ident_coalesced``).  The decision cache is
+**sharded** by an arithmetic hash of the (initiator uid, listener uid,
+listener egid) key — stable across ``PYTHONHASHSEED`` — so one giant dict
+never becomes the bottleneck, and the group rule consults a precomputed
+per-egid **allow-set** derived from the account database (invalidated via
+``UserDB.generation``), falling back to the ident reply's group snapshot
+before ever dropping.  ``naive=True`` preserves the original sequential
+per-packet path as the differential-testing reference; both paths produce
+identical verdicts (property-tested fault-free — under faults, coalescing
+legitimately consumes fewer identd attempts than per-packet retry loops).
 """
 
 from __future__ import annotations
@@ -58,6 +73,45 @@ from repro.net.ident import (
     remote_ident_query,
 )
 from repro.net.stack import Fabric, HostStack
+
+
+class ShardedVerdictCache:
+    """Decision cache split into shards by an arithmetic key hash.
+
+    The shard function mixes the three small ints of the cache key with
+    fixed primes instead of relying on ``hash()``, so shard assignment (and
+    therefore iteration order, sizes, and any perf characteristics) is
+    identical under every ``PYTHONHASHSEED`` — CI runs two seeds to enforce
+    exactly this kind of determinism.
+    """
+
+    def __init__(self, shards: int = 8):
+        if shards < 1:
+            raise ValueError("need at least one shard")
+        self.n = shards
+        self._shards: list[dict[tuple[int, int, int], Verdict]] = [
+            {} for _ in range(shards)
+        ]
+
+    def _shard(self, key: tuple[int, int, int]) -> dict:
+        a, b, c = key
+        return self._shards[(a * 1_000_003 + b * 8_191 + c) % self.n]
+
+    def get(self, key: tuple[int, int, int]) -> Verdict | None:
+        return self._shard(key).get(key)
+
+    def put(self, key: tuple[int, int, int], verdict: Verdict) -> None:
+        self._shard(key)[key] = verdict
+
+    def clear(self) -> None:
+        for shard in self._shards:
+            shard.clear()
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._shards)
+
+    def shard_sizes(self) -> list[int]:
+        return [len(s) for s in self._shards]
 
 
 @dataclass
@@ -90,10 +144,21 @@ class UBFDaemon:
     ident_backoff_us: float = 200.0
     #: optional span source (repro.obs.trace.Tracer); None = no tracing cost
     tracer: object | None = None
+    #: original sequential/unsharded reference path for differential testing.
+    naive: bool = False
+    cache_shards: int = 8
     log: list[UBFDecisionLog] = field(default_factory=list)
     alive: bool = True
     _cache: dict[tuple[int, int, int], Verdict] = field(default_factory=dict)
+    _sharded: ShardedVerdictCache | None = field(default=None, repr=False)
+    _allow_sets: dict[int, frozenset[int]] = field(default_factory=dict,
+                                                   repr=False)
+    _allow_gen: int = field(default=-1, repr=False)
     _crashed_handler: object | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self._sharded is None:
+            self._sharded = ShardedVerdictCache(self.cache_shards)
 
     def install(self) -> "UBFDaemon":
         self.stack.firewall.bind_nfqueue(self.decide)
@@ -156,40 +221,102 @@ class UBFDaemon:
         return verdict
 
     def _decide(self, pkt: Packet) -> Verdict:
+        verdict, listener = self._pre_decide(pkt, IdentService(self.stack))
+        if verdict is not None:
+            return verdict
+        try:
+            initiator = self._remote_ident(pkt.flow)
+        except IdentUnavailable as exc:
+            return self._degraded(pkt, listener, exc)
+        return self._conclude(pkt, listener, initiator)
+
+    def _pre_decide(self, pkt: Packet, local_ident: IdentService
+                    ) -> tuple[Verdict | None, IdentReply | None]:
+        """The pre-ident phase: listener lookup + cache/root short-circuits.
+
+        Returns ``(verdict, listener)``; ``verdict is None`` means the
+        packet needs a remote ident exchange before it can be concluded.
+        """
         flow = pkt.flow
-        local_ident = IdentService(self.stack)
         listener = local_ident.query_local(flow.proto, flow.dst_port)
         if listener is None:
             # nothing listening; let the stack produce ECONNREFUSED rather
             # than leaking whether the port is filtered
             return self._log(pkt, None, None, None, Verdict.ACCEPT,
-                             "no listener (refusal handled by stack)")
+                             "no listener (refusal handled by stack)"), None
         if listener.uid == 0:
             return self._log(pkt, None, listener.uid, listener.egid,
-                             Verdict.ACCEPT, "root-owned service")
+                             Verdict.ACCEPT, "root-owned service"), listener
         # Cache first: a hit answers from the kernel-stamped initiator uid
         # without touching the network.  (The stamp is trusted for the same
         # reason the ident answer is — same root-administered system image.)
         if self.cache_enabled and pkt.src_uid is not None:
             key = (pkt.src_uid, listener.uid, listener.egid)
-            if key in self._cache:
+            cached = (self._cache.get(key) if self.naive
+                      else self._sharded.get(key))
+            if cached is not None:
                 self.fabric.metrics.counter("ubf_cache_hits").inc()
                 return self._log(pkt, pkt.src_uid, listener.uid,
-                                 listener.egid, self._cache[key], "cached")
-        try:
-            initiator = self._remote_ident(flow)
-        except IdentUnavailable as exc:
-            return self._degraded(pkt, listener, exc)
+                                 listener.egid, cached, "cached"), listener
+        return None, listener
+
+    def _conclude(self, pkt: Packet, listener: IdentReply,
+                  initiator: IdentReply | None) -> Verdict:
+        """The post-ident phase: rule, cache store, full-decision metrics."""
         if initiator is None:
             return self._log(pkt, None, listener.uid, listener.egid,
                              Verdict.DROP, "initiator unidentifiable")
-        verdict, reason = self._rule(initiator.uid, initiator.groups,
-                                     listener.uid, listener.egid)
+        rule = self._rule if self.naive else self._rule_indexed
+        verdict, reason = rule(initiator.uid, initiator.groups,
+                               listener.uid, listener.egid)
         if self.cache_enabled:
-            self._cache[initiator.uid, listener.uid, listener.egid] = verdict
+            key = (initiator.uid, listener.uid, listener.egid)
+            if self.naive:
+                self._cache[key] = verdict
+            else:
+                self._sharded.put(key, verdict)
         self.fabric.metrics.counter("ubf_full_decisions").inc()
         return self._log(pkt, initiator.uid, listener.uid, listener.egid,
                          verdict, reason)
+
+    def decide_batch(self, pkts: list[Packet]) -> list[Verdict]:
+        """Decide a burst of simultaneously queued packets, coalescing
+        ident queries.
+
+        All packets go through the pre-ident phase first (a burst arrives
+        together, so none can hit a cache entry another member is about to
+        create); misses are then grouped by the initiating *process* —
+        ``(src_host, proto, src_port)`` — and each group performs exactly
+        one upstream ident exchange whose answer (or failure) concludes
+        every waiter.  ``ident_coalesced`` counts the queries saved.
+        """
+        pkts = list(pkts)
+        if self.naive:
+            return [self.decide(p) for p in pkts]
+        local_ident = IdentService(self.stack)
+        results: list[Verdict | None] = [None] * len(pkts)
+        waiters: dict[tuple, list[tuple[int, IdentReply]]] = {}
+        for i, pkt in enumerate(pkts):
+            verdict, listener = self._pre_decide(pkt, local_ident)
+            if verdict is not None:
+                results[i] = verdict
+                continue
+            flow = pkt.flow
+            waiters.setdefault((flow.src_host, flow.proto, flow.src_port),
+                               []).append((i, listener))
+        coalesced = self.fabric.metrics.counter("ident_coalesced")
+        for parked in waiters.values():
+            if len(parked) > 1:
+                coalesced.inc(len(parked) - 1)
+            try:
+                initiator = self._remote_ident(pkts[parked[0][0]].flow)
+            except IdentUnavailable as exc:
+                for i, listener in parked:
+                    results[i] = self._degraded(pkts[i], listener, exc)
+                continue
+            for i, listener in parked:
+                results[i] = self._conclude(pkts[i], listener, initiator)
+        return results
 
     def _remote_ident(self, flow) -> IdentReply | None:
         """One authoritative ident exchange, with retry + backoff.
@@ -243,6 +370,43 @@ class UBFDaemon:
             return Verdict.ACCEPT, "initiator in listener's primary group"
         return Verdict.DROP, "cross-user connection denied"
 
+    def _rule_indexed(self, init_uid: int, init_groups: frozenset[int],
+                      listen_uid: int, listen_egid: int
+                      ) -> tuple[Verdict, str]:
+        """Same rule, group check against the precomputed per-egid allow-set.
+
+        The allow-set reflects the live account database; an initiator whose
+        credential snapshot carries the egid but whom the database no longer
+        (or never — ``with_extra_group``) lists falls back to the snapshot
+        check before a DROP, so no connection the naive rule accepts is ever
+        refused (``ubf_allowset_fallbacks`` counts how often that saves one).
+        """
+        if init_uid == 0:
+            return Verdict.ACCEPT, "root initiator"
+        if init_uid == listen_uid:
+            return Verdict.ACCEPT, "same user"
+        if init_uid in self._egid_members(listen_egid):
+            return Verdict.ACCEPT, "initiator in listener's primary group"
+        if listen_egid in init_groups:
+            self.fabric.metrics.counter("ubf_allowset_fallbacks").inc()
+            return Verdict.ACCEPT, "initiator in listener's primary group"
+        return Verdict.DROP, "cross-user connection denied"
+
+    def _egid_members(self, egid: int) -> frozenset[int]:
+        """Allow-set for one listener egid, cached until the account
+        database's generation moves (any membership mutation invalidates)."""
+        if self._allow_gen != self.userdb.generation:
+            self._allow_sets.clear()
+            self._allow_gen = self.userdb.generation
+        members = self._allow_sets.get(egid)
+        if members is None:
+            try:
+                members = frozenset(self.userdb.group(egid).members)
+            except NoSuchEntity:
+                members = frozenset()
+            self._allow_sets[egid] = members
+        return members
+
     def _log(self, pkt: Packet, iu, lu, lg, verdict: Verdict,
              reason: str) -> Verdict:
         self.log.append(UBFDecisionLog(
@@ -259,6 +423,9 @@ class UBFDaemon:
 
     def flush_cache(self) -> None:
         self._cache.clear()
+        self._sharded.clear()
+        self._allow_sets.clear()
+        self._allow_gen = -1
 
 
 #: Cost model for experiment E8, in microseconds.  Values are representative

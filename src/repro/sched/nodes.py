@@ -18,13 +18,33 @@ from repro.sched.jobs import Allocation, Job
 
 @dataclass
 class ComputeNode:
-    """One schedulable node."""
+    """One schedulable node.
+
+    Capacity accounting (used cores/memory/GPUs, the running-uid multiset)
+    is maintained **incrementally** by :meth:`allocate`/:meth:`release`, so
+    the scheduler's hot placement loop reads O(1) properties instead of
+    re-summing the allocation table per candidate node.  ``allocations`` is
+    only ever mutated through those two methods.
+    """
 
     node: LinuxNode
     gpus: list[GPUDevice] = field(default_factory=list)
     allocations: dict[int, Allocation] = field(default_factory=dict)
     failed: bool = False
     drained: bool = False  # admin drain: no new placements, jobs run out
+    _used_cores: int = field(default=0, repr=False)
+    _used_mem_mb: int = field(default=0, repr=False)
+    _used_gpus: set[int] = field(default_factory=set, repr=False)
+    #: uid -> number of this user's jobs allocated here (running-uid multiset)
+    _uid_counts: dict[int, int] = field(default_factory=dict, repr=False)
+    _alloc_uids: dict[int, int] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        # Rebuild the caches if constructed with a pre-seeded table (tests).
+        for alloc in self.allocations.values():
+            self._used_cores += alloc.cores
+            self._used_mem_mb += alloc.mem_mb
+            self._used_gpus.update(alloc.gpu_indices)
 
     @classmethod
     def create(cls, node: LinuxNode, *, gpu_mem_bytes: int = 65536,
@@ -58,36 +78,46 @@ class ComputeNode:
 
     @property
     def used_cores(self) -> int:
-        return sum(a.cores for a in self.allocations.values())
+        return self._used_cores
 
     @property
     def used_mem_mb(self) -> int:
-        return sum(a.mem_mb for a in self.allocations.values())
+        return self._used_mem_mb
 
     @property
     def free_cores(self) -> int:
-        return self.total_cores - self.used_cores
+        return self.total_cores - self._used_cores
 
     @property
     def free_mem_mb(self) -> int:
-        return self.total_mem_mb - self.used_mem_mb
+        return self.total_mem_mb - self._used_mem_mb
 
     @property
     def used_gpu_indices(self) -> set[int]:
-        return {i for a in self.allocations.values() for i in a.gpu_indices}
+        return set(self._used_gpus)
 
     @property
     def free_gpu_indices(self) -> list[int]:
-        used = self.used_gpu_indices
-        return [g.index for g in self.gpus if g.index not in used]
+        return [g.index for g in self.gpus if g.index not in self._used_gpus]
 
     @property
     def idle(self) -> bool:
         return not self.allocations
 
-    def running_uids(self, jobs_by_id: dict[int, Job]) -> set[int]:
-        return {jobs_by_id[jid].uid for jid in self.allocations
-                if jid in jobs_by_id}
+    def running_uids(self, jobs_by_id: dict[int, Job] | None = None) -> set[int]:
+        """Distinct uids with an allocation here (O(distinct uids))."""
+        return set(self._uid_counts)
+
+    def uid_present(self, uid: int) -> bool:
+        """pam_slurm's O(1) question: does *uid* hold an allocation here?"""
+        return uid in self._uid_counts
+
+    @property
+    def sole_uid(self) -> int | None:
+        """The single uid occupying this node, or None if idle/mixed."""
+        if len(self._uid_counts) != 1:
+            return None
+        return next(iter(self._uid_counts))
 
     # -- allocation --------------------------------------------------------
 
@@ -118,10 +148,29 @@ class ComputeNode:
                            mem_mb=mem, gpu_indices=gpu_indices)
         self.allocations[job.job_id] = alloc
         job.allocations.append(alloc)
+        self._used_cores += cores
+        self._used_mem_mb += mem
+        self._used_gpus.update(gpu_indices)
+        uid = job.uid
+        self._alloc_uids[job.job_id] = uid
+        self._uid_counts[uid] = self._uid_counts.get(uid, 0) + 1
         return alloc
 
     def release(self, job_id: int) -> Allocation | None:
-        return self.allocations.pop(job_id, None)
+        alloc = self.allocations.pop(job_id, None)
+        if alloc is None:
+            return None
+        self._used_cores -= alloc.cores
+        self._used_mem_mb -= alloc.mem_mb
+        self._used_gpus.difference_update(alloc.gpu_indices)
+        uid = self._alloc_uids.pop(job_id, None)
+        if uid is not None:
+            left = self._uid_counts.get(uid, 0) - 1
+            if left > 0:
+                self._uid_counts[uid] = left
+            else:
+                self._uid_counts.pop(uid, None)
+        return alloc
 
     def gpu(self, index: int) -> GPUDevice:
         return self.gpus[index]

@@ -17,17 +17,30 @@ Backfill here is the reservation-less kind (scan past a blocked head job);
 that can delay very wide jobs under sustained small-job load, which is
 acceptable for the policy experiments this reproduces and is called out in
 DESIGN.md.
+
+Two dispatch implementations coexist (DESIGN.md "Performance architecture"):
+
+* the **indexed** default — a per-partition free-capacity index
+  (:mod:`repro.sched.dispatch_index`) supplies first-fit candidates,
+  dispatch passes run only when a partition got resources back or a job
+  arrived (event-driven wakeups via dirty-partition marks), and
+  running/pending sets are maintained incrementally;
+* the **naive reference** (``SchedulerConfig(naive=True)``) — the original
+  full pending x nodes rescan on every event, kept verbatim for
+  differential testing: both paths must produce byte-identical placements
+  (asserted by ``tests/prop/test_prop_dispatch.py`` and benchmark E24).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.kernel.errors import NoSuchEntity, PermissionError_
 from repro.kernel.users import User
 from repro.sched.accounting import AccountingDB
+from repro.sched.dispatch_index import PartitionIndex
 from repro.sched.jobs import Job, JobSpec, JobState
 from repro.sched.nodes import ComputeNode
 from repro.sched.partitions import DEFAULT_PARTITION, Partition
@@ -45,6 +58,9 @@ class SchedulerConfig:
     backfill: bool = True
     #: resubmit NODE_FAIL victims automatically (Slurm's JobRequeue)
     requeue_on_node_fail: bool = False
+    #: use the reference O(pending x nodes) dispatch instead of the
+    #: free-capacity index — for differential testing only (E24)
+    naive: bool = False
 
 
 class Scheduler:
@@ -75,9 +91,26 @@ class Scheduler:
         self._ids = itertools.count(1)
         self.jobs: dict[int, Job] = {}
         self._queue: list[Job] = []
+        self._running: dict[int, Job] = {}
         self._busy_cores = TimeWeighted()    # cores *charged* (occupancy)
         self._useful_cores = TimeWeighted()  # cores running actual tasks
+        #: per-job (charged, useful) core counts captured at start so the
+        #: finish path never re-derives them from the allocation list
+        self._core_charge: dict[int, tuple[int, int]] = {}
         self.total_cores = sum(n.total_cores for n in nodes)
+        # -- free-capacity index (see module docstring) -------------------
+        self._pindex: dict[str, PartitionIndex] = {
+            p.name: PartitionIndex(p, self.nodes)
+            for p in self.partitions.values()}
+        self._node_parts: dict[str, list[str]] = {}
+        for p in self.partitions.values():
+            for name in p.node_names:
+                self._node_parts.setdefault(name, []).append(p.name)
+        #: partitions where resources were freed since the last dispatch
+        self._dirty_parts: set[str] = set()
+        #: jobs that arrived/requeued since their partition was last scanned
+        self._fresh_jobs: set[int] = set()
+        self._scan_counter = self.metrics.counter("sched_dispatch_scan")
 
     # -- submission -----------------------------------------------------------
 
@@ -145,6 +178,7 @@ class Scheduler:
         if job.state is not JobState.PENDING:
             return  # cancelled before its arrival event fired
         self._queue.append(job)
+        self._fresh_jobs.add(job.job_id)
         self.metrics.counter("jobs_submitted").inc()
         if self.tracer is not None:
             self._open_job_trace(job)
@@ -158,6 +192,7 @@ class Scheduler:
         if job.state is JobState.PENDING:
             if job in self._queue:
                 self._queue.remove(job)
+            self._fresh_jobs.discard(job.job_id)
             job.state = JobState.CANCELLED
             job.end_time = self.engine.now
             if self.tracer is not None:
@@ -176,18 +211,22 @@ class Scheduler:
         for name in self.partitions[job.spec.partition].node_names:
             yield self.nodes[name]
 
-    def _placement_for(self, job: Job) -> list[tuple[ComputeNode, int]] | None:
+    def _plan_over(self, job: Job, nodes: Iterable[ComputeNode],
+                   ) -> list[tuple[ComputeNode, int]] | None:
         """Greedy first-fit plan: [(node, tasks)] covering all tasks, or
-        None if the job cannot start now under the active policy (within
-        the job's partition)."""
+        None if the job cannot start now under the active policy.  The
+        caller chooses the node stream (full partition scan, or index
+        candidates); both streams are in partition declaration order, so
+        the plan is identical either way."""
         spec = job.spec
         policy = self._policy_for(job)
-        whole = (policy is NodeSharing.EXCLUSIVE or spec.exclusive)
         remaining = spec.ntasks
         plan: list[tuple[ComputeNode, int]] = []
-        for node in self._nodes_for(job):
+        examined = 0
+        for node in nodes:
             if node.failed or node.drained:
                 continue
+            examined += 1
             n = tasks_placeable(
                 policy,
                 free_cores=node.free_cores,
@@ -207,8 +246,26 @@ class Scheduler:
             plan.append((node, take))
             remaining -= take
             if remaining == 0:
-                return plan
-        return None
+                break
+        self._scan_counter.inc(examined)
+        return plan if remaining == 0 else None
+
+    def _placement_for(self, job: Job) -> list[tuple[ComputeNode, int]] | None:
+        """Reference placement: scan every node of the job's partition."""
+        return self._plan_over(job, self._nodes_for(job))
+
+    def _placement_indexed(self, job: Job
+                           ) -> list[tuple[ComputeNode, int]] | None:
+        """Indexed placement: only nodes the free-capacity index says could
+        accept this job are examined, in the same first-fit order."""
+        index = self._pindex[job.spec.partition]
+        policy = self._policy_for(job)
+        whole = policy is NodeSharing.EXCLUSIVE or job.spec.exclusive
+        names = index.candidates(policy=policy, whole=whole, uid=job.uid,
+                                 cores_per_task=job.spec.cores_per_task)
+        if not names:
+            return None
+        return self._plan_over(job, (self.nodes[n] for n in names))
 
     def _any_node_open(self) -> bool:
         """Cheap pre-check: could *any* pending job conceivably start?
@@ -220,11 +277,33 @@ class Scheduler:
         return any(not n.failed and n.free_cores > 0 and n.free_mem_mb > 0
                    for n in self.nodes.values())
 
+    def _node_changed(self, node: ComputeNode, *, freed: bool) -> None:
+        """Re-index one node; a *freed* change wakes its partitions up.
+
+        Allocations only consume resources — they can never make a
+        previously unplaceable job placeable — so only frees (job finish,
+        node resume) mark partitions dirty for the event-driven dispatch.
+        """
+        for pname in self._node_parts.get(node.name, ()):
+            self._pindex[pname].update(node)
+            if freed:
+                self._dirty_parts.add(pname)
+
     def _try_dispatch(self) -> None:
-        """FIFO scan; with backfill, blocked jobs are skipped (not starved
+        if self.config.naive:
+            self._dispatch_naive()
+        else:
+            self._dispatch_indexed()
+
+    def _dispatch_naive(self) -> None:
+        """Reference FIFO scan (the seed implementation, kept verbatim for
+        differential testing): rescans the whole queue against all nodes on
+        every event.  With backfill, blocked jobs are skipped (not starved
         forever in our workloads; see module docstring).  One pass per call
         suffices: placements only consume resources, so a job that was
         unplaceable earlier in the pass stays unplaceable."""
+        self._dirty_parts.clear()
+        self._fresh_jobs.clear()
         if not self._any_node_open():
             return
         placed_ids: set[int] = set()
@@ -249,10 +328,72 @@ class Scheduler:
                            if j.job_id not in placed_ids]
             self._note_queue_depth()
 
+    def _dispatch_indexed(self) -> None:
+        """Event-driven dispatch: a pass runs only when a partition got
+        resources back (dirty) or a job arrived/requeued (fresh); within a
+        pass, a pending job is only examined if its partition is dirty or
+        the job is fresh — anything else was unplaceable at its last scan
+        and nothing has freed since, so it still is."""
+        while self._dirty_parts or self._fresh_jobs:
+            dirty, self._dirty_parts = self._dirty_parts, set()
+            fresh, self._fresh_jobs = self._fresh_jobs, set()
+            self._dispatch_pass(dirty, fresh)
+
+    def _dispatch_pass(self, dirty: set[str], fresh: set[int]) -> None:
+        # Every policy needs at least one open node, so a dirty partition
+        # with none can place nothing — drop it up front; a pass with no
+        # dirty partitions and no fresh jobs has nothing to do at all.
+        dirty = {p for p in dirty if self._pindex[p].any_open}
+        if not dirty and not fresh and self.config.backfill:
+            return
+        purge = False
+        backfill = self.config.backfill
+        # Within one pass capacity only shrinks (starts consume; frees
+        # schedule a new pass), so once a placement shape fails, identical
+        # later jobs — array campaigns, mostly — must fail too.  Any
+        # mid-pass free (a batch step failing at start) repopulates
+        # self._dirty_parts; that invalidates the memo, so drop it.
+        failed: set[tuple] = set()
+        for job in list(self._queue):
+            if job.state is not JobState.PENDING:
+                purge = True  # started (or batch-failed) re-entrantly
+                continue
+            plan = None
+            # Without backfill the head job gates everyone (including other
+            # partitions), so jobs behind it may never have been examined —
+            # the clean-partition skip is only sound with backfill on.
+            if (not backfill or job.job_id in fresh
+                    or job.spec.partition in dirty):
+                if self._dirty_parts:
+                    failed.clear()
+                spec = job.spec
+                sig = (spec.partition, job.uid, spec.ntasks,
+                       spec.cores_per_task, spec.mem_mb_per_task,
+                       spec.gpus_per_task, spec.exclusive)
+                # O(1) guards: a partition with no open node, or a shape
+                # that already failed this pass, cannot place
+                if sig not in failed \
+                        and self._pindex[spec.partition].any_open:
+                    plan = self._placement_indexed(job)
+                    if plan is None:
+                        failed.add(sig)
+            if plan is None:
+                if not self.config.backfill:
+                    break
+                continue
+            self._start(job, plan)
+            purge = True
+        if purge:
+            self._queue = [j for j in self._queue
+                           if j.state is JobState.PENDING]
+            self._note_queue_depth()
+
     def _start(self, job: Job, plan: list[tuple[ComputeNode, int]]) -> None:
         now = self.engine.now
         job.state = JobState.RUNNING
         job.start_time = now
+        self._running[job.job_id] = job
+        self._fresh_jobs.discard(job.job_id)
         spans = self._job_spans.get(job.job_id) if self.tracer else None
         if spans is not None:
             self.tracer.finish(spans["queue"],
@@ -261,6 +402,7 @@ class Scheduler:
                  or job.spec.exclusive)
         for node, tasks in plan:
             node.allocate(job, tasks, whole_node=whole)
+            self._node_changed(node, freed=False)
             if self.prolog is not None:
                 if spans is not None:
                     s = self.tracer.start_span("sched.prolog",
@@ -279,10 +421,12 @@ class Scheduler:
             spans["run"] = self.tracer.start_span(
                 "job.run", parent=spans["root"],
                 nodes=",".join(sorted({n.name for n, _ in plan})))
-        self._busy_cores.add(now, sum(a.cores for a in job.allocations))
-        self._useful_cores.add(
-            now, sum(a.tasks * job.spec.cores_per_task
-                     for a in job.allocations))
+        charged = sum(a.cores for a in job.allocations)
+        useful = sum(a.tasks * job.spec.cores_per_task
+                     for a in job.allocations)
+        self._core_charge[job.job_id] = (charged, useful)
+        self._busy_cores.add(now, charged)
+        self._useful_cores.add(now, useful)
         wait = now - job.submit_time
         self.metrics.samples("wait_time").add(wait)
         self.metrics.histogram("sched_wait_seconds").observe(wait)
@@ -342,11 +486,15 @@ class Scheduler:
         now = self.engine.now
         job.state = state
         job.end_time = now
+        self._running.pop(job.job_id, None)
         self._write_stdout_file(job)
-        self._busy_cores.add(now, -sum(a.cores for a in job.allocations))
-        self._useful_cores.add(
-            now, -sum(a.tasks * job.spec.cores_per_task
-                      for a in job.allocations))
+        charged, useful = self._core_charge.pop(
+            job.job_id,
+            (sum(a.cores for a in job.allocations),
+             sum(a.tasks * job.spec.cores_per_task
+                 for a in job.allocations)))
+        self._busy_cores.add(now, -charged)
+        self._useful_cores.add(now, -useful)
         spans = self._job_spans.get(job.job_id) if self.tracer else None
         for alloc in job.allocations:
             node = self.nodes[alloc.node]
@@ -361,6 +509,7 @@ class Scheduler:
                 else:
                     self.epilog(job, node)
             node.release(job.job_id)
+            self._node_changed(node, freed=True)
         if self.tracer is not None:
             self._close_job_trace(job, state)
         self.accounting.record(job)
@@ -388,13 +537,16 @@ class Scheduler:
 
     def drain(self, node_name: str) -> None:
         """scontrol update state=DRAIN: running jobs finish, nothing new."""
-        self.nodes[node_name].drained = True
+        node = self.nodes[node_name]
+        node.drained = True
+        self._node_changed(node, freed=False)
 
     def resume(self, node_name: str) -> None:
         """scontrol update state=RESUME."""
         node = self.nodes[node_name]
         node.drained = False
         node.failed = False
+        self._node_changed(node, freed=True)
         self._try_dispatch()
 
     def fail_node(self, node_name: str) -> list[Job]:
@@ -403,6 +555,7 @@ class Scheduler:
         Returns the affected jobs."""
         node = self.nodes[node_name]
         node.failed = True
+        self._node_changed(node, freed=False)
         victims = [self.jobs[jid] for jid in list(node.allocations)]
         for job in victims:
             self._finish(job, JobState.NODE_FAIL)
@@ -419,6 +572,7 @@ class Scheduler:
         job.reason = "requeued after node failure"
         self.metrics.counter("jobs_requeued").inc()
         self._queue.append(job)
+        self._fresh_jobs.add(job.job_id)
         if self.tracer is not None:
             # the failed attempt's trace closed with NODE_FAIL; the retry
             # gets a fresh trace so both attempts stay inspectable
@@ -429,18 +583,21 @@ class Scheduler:
     # -- queries ------------------------------------------------------------------
 
     def user_has_job_on(self, uid: int, node_name: str) -> bool:
-        """pam_slurm's question: does *uid* have a running job on the node?"""
+        """pam_slurm's question: does *uid* have a running job on the node?
+        O(1) via the node's running-uid multiset."""
         try:
             node = self.nodes[node_name]
         except KeyError:
             raise NoSuchEntity(f"node {node_name!r}") from None
-        return any(self.jobs[jid].uid == uid for jid in node.allocations)
+        return node.uid_present(uid)
 
     def pending(self) -> list[Job]:
         return list(self._queue)
 
     def running(self) -> list[Job]:
-        return [j for j in self.jobs.values() if j.state is JobState.RUNNING]
+        """Running jobs in submission order — maintained incrementally at
+        start/finish instead of re-filtering the whole job table."""
+        return sorted(self._running.values(), key=lambda j: j.job_id)
 
     def utilization(self, t_end: float | None = None) -> float:
         """Time-averaged fraction of cores doing *useful* work since t=0.

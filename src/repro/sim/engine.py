@@ -22,6 +22,7 @@ class _Event:
     seq: int
     action: Callable[[], None] = field(compare=False)
     cancelled: bool = field(compare=False, default=False)
+    done: bool = field(compare=False, default=False)
 
 
 class SimClock:
@@ -48,6 +49,10 @@ class Engine:
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self.events_processed = 0
+        #: cancelled events still sitting in the heap.  ``pending`` is then
+        #: O(1) (len(heap) - this) instead of a full heap scan; the heap is
+        #: compacted once cancelled entries outnumber live ones.
+        self._cancelled_in_heap = 0
 
     @property
     def now(self) -> float:
@@ -68,7 +73,20 @@ class Engine:
         return self.at(self.now + delay, action)
 
     def cancel(self, event: _Event) -> None:
+        """Cancel a scheduled event (idempotent; no-op once it has fired)."""
+        if event.cancelled or event.done:
+            return
         event.cancelled = True
+        self._cancelled_in_heap += 1
+        # Compact once cancelled tombstones dominate: keeps the heap (and
+        # every subsequent push/pop) proportional to *live* events.
+        if self._cancelled_in_heap > len(self._heap) // 2:
+            self._compact()
+
+    def _compact(self) -> None:
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._cancelled_in_heap = 0
 
     def run(self, until: float | None = None) -> float:
         """Process events in order until the heap drains or *until* passes.
@@ -81,9 +99,11 @@ class Engine:
                 return self.now
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.clock._advance(ev.time)
             self.events_processed += 1
+            ev.done = True
             ev.action()
         if until is not None and until > self.now:
             self.clock._advance(until)
@@ -94,13 +114,16 @@ class Engine:
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:
+                self._cancelled_in_heap -= 1
                 continue
             self.clock._advance(ev.time)
             self.events_processed += 1
+            ev.done = True
             ev.action()
             return True
         return False
 
     @property
     def pending(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (not-yet-fired, not-cancelled) events — O(1)."""
+        return len(self._heap) - self._cancelled_in_heap

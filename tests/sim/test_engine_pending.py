@@ -1,0 +1,93 @@
+"""Engine.pending O(1) live counter + heap compaction (E24 satellite)."""
+
+from __future__ import annotations
+
+from repro.sim import Engine
+
+
+def noop():
+    pass
+
+
+class TestPendingCounter:
+    def test_counts_live_events_only(self):
+        eng = Engine()
+        events = [eng.at(float(i), noop) for i in range(10)]
+        assert eng.pending == 10
+        for ev in events[:4]:
+            eng.cancel(ev)
+        assert eng.pending == 6
+
+    def test_double_cancel_counts_once(self):
+        eng = Engine()
+        ev = eng.at(1.0, noop)
+        eng.at(2.0, noop)
+        eng.cancel(ev)
+        eng.cancel(ev)
+        assert eng.pending == 1
+
+    def test_cancel_after_fire_is_noop(self):
+        eng = Engine()
+        ev = eng.at(1.0, noop)
+        eng.at(2.0, noop)
+        eng.run(until=1.5)
+        assert eng.pending == 1
+        eng.cancel(ev)  # already fired: must not corrupt the counter
+        assert eng.pending == 1
+        eng.run()
+        assert eng.pending == 0
+
+    def test_step_decrements(self):
+        eng = Engine()
+        for i in range(3):
+            eng.at(float(i), noop)
+        assert eng.step()
+        assert eng.pending == 2
+
+    def test_cancelled_event_never_fires(self):
+        eng = Engine()
+        fired = []
+        ev = eng.at(1.0, lambda: fired.append(1))
+        eng.cancel(ev)
+        eng.run()
+        assert fired == []
+        assert eng.pending == 0
+
+
+class TestCompaction:
+    def test_mass_cancellation_shrinks_the_heap(self):
+        eng = Engine()
+        events = [eng.at(float(i), noop) for i in range(100)]
+        for ev in events[:80]:
+            eng.cancel(ev)
+        # compaction keeps tombstones bounded by half the (live) heap —
+        # the heap must have shrunk far below the 100 entries pushed
+        assert eng._cancelled_in_heap <= len(eng._heap) // 2
+        assert len(eng._heap) <= 30
+        assert eng.pending == 20
+
+    def test_compaction_preserves_firing_order(self):
+        eng = Engine()
+        fired = []
+        events = [eng.at(float(i), lambda i=i: fired.append(i))
+                  for i in range(50)]
+        for ev in events[1::2]:  # cancel all odd-timed events
+            eng.cancel(ev)
+        eng.run()
+        assert fired == list(range(0, 50, 2))
+        assert eng.events_processed == 25
+
+    def test_interleaved_schedule_cancel_run(self):
+        eng = Engine()
+        fired = []
+        survivors = []
+        for round_ in range(5):
+            evs = [eng.at(eng.now + 1.0 + i, lambda v=(round_, i): fired.append(v))
+                   for i in range(10)]
+            for ev in evs[:7]:
+                eng.cancel(ev)
+            survivors.extend((round_, i) for i in range(7, 10))
+            eng.run(until=eng.now + 5.0)
+        eng.run()
+        assert fired == survivors
+        assert eng.pending == 0
