@@ -22,14 +22,20 @@ degradation-policy matrix.
 from repro import Cluster, LLSC, ablate
 from repro.kernel.errors import KernelError
 from repro.net import Proto
+from repro.oracle import attach_oracle
 
 from _helpers import print_table
 
 
 def build(config=LLSC, **kw):
-    return Cluster.build(config, n_compute=4,
-                         users=("alice", "bob", "carol", "dave"),
-                         projects={"fusion": ("carol", "dave")}, **kw)
+    """E23 clusters run with the separation oracle armed fail-fast: a
+    fault may degrade availability, never separation — any invariant
+    violation under chaos aborts the benchmark on the spot."""
+    cluster = Cluster.build(config, n_compute=4,
+                            users=("alice", "bob", "carol", "dave"),
+                            projects={"fusion": ("carol", "dave")}, **kw)
+    attach_oracle(cluster, fail_fast=True)
+    return cluster
 
 
 def victim_listener(cluster, username="alice", port=5000):
@@ -74,6 +80,8 @@ def identd_outage_trial() -> dict[str, object]:
     rep = cluster.metrics.report()
     out["ident_timeouts"] = rep.get("ubf_ident_timeouts", 0)
     out["retries"] = rep.get("ubf_ident_retries", 0)
+    out["oracle_checks"] = cluster.oracle.total_checks
+    out["oracle_violations"] = len(cluster.oracle.violations)
     return out
 
 
@@ -87,6 +95,8 @@ def test_e23_identd_outage(benchmark):
     assert r["cached_principal_survives"]
     assert r["recovers_unaided"]
     assert r["retries"] > 0  # backoff actually ran before degrading
+    # degraded-mode verdicts were themselves invariant-checked
+    assert r["oracle_checks"] > 0 and r["oracle_violations"] == 0
 
 
 def crash_restart_trial() -> dict[str, object]:

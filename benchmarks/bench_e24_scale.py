@@ -109,7 +109,7 @@ def _workload(n_nodes: int, n_events: int):
 
 
 def run_sched_trial(n_nodes: int, n_events: int, *, naive: bool,
-                    collect_placements: bool = False):
+                    collect_placements: bool = False, oracle=None):
     userdb = UserDB()
     users = [userdb.add_user(f"user{i}") for i in range(8)]
     engine = Engine()
@@ -125,6 +125,7 @@ def run_sched_trial(n_nodes: int, n_events: int, *, naive: bool,
     sched = Scheduler(engine, cnodes,
                       SchedulerConfig(policy=NodeSharing.SHARED,
                                       naive=naive))
+    sched.oracle = oracle
     for u, ntasks, cpt, duration, at in _workload(n_nodes, n_events):
         sched.submit(JobSpec(user=users[u], name="j", ntasks=ntasks,
                              cores_per_task=cpt, mem_mb_per_task=500),
@@ -196,7 +197,8 @@ def sched_point(n_nodes: int, n_events: int, *, differential: bool):
 # -- UBF batched verdicts ---------------------------------------------------
 
 def run_ubf_trial(*, naive: bool, n_listeners: int = 64,
-                  n_initiators: int = 32, n_packets: int = 4096):
+                  n_initiators: int = 32, n_packets: int = 4096,
+                  oracle=None):
     userdb = UserDB()
     users = [userdb.add_user(f"u{i}") for i in range(max(n_listeners,
                                                          n_initiators))]
@@ -208,6 +210,7 @@ def run_ubf_trial(*, naive: bool, n_listeners: int = 64,
         nodes[name] = node
         daemons[name] = UBFDaemon(node.net, fabric, userdb,
                                   naive=naive).install()
+        daemons[name].oracle = oracle
     daemon = daemons["c2"]
     net2, net1 = nodes["c2"].net, nodes["c1"].net
     for i in range(n_listeners):
@@ -261,7 +264,8 @@ def ubf_section():
 # -- procfs viewer listings -------------------------------------------------
 
 def run_procfs_trial(*, naive: bool, n_users: int = 50,
-                     procs_per_user: int = 40, iterations: int = 200):
+                     procs_per_user: int = 40, iterations: int = 200,
+                     oracle=None):
     userdb = UserDB()
     users = [userdb.add_user(f"u{i}") for i in range(n_users)]
     table = ProcessTable("n1")
@@ -269,6 +273,7 @@ def run_procfs_trial(*, naive: bool, n_users: int = 50,
         creds = userdb.credentials_for(users[i % n_users])
         table.spawn(creds, ["app"], job_id=i % 97)
     fs = ProcFS(table, ProcMountOptions(hidepid=2), naive=naive)
+    fs.oracle = oracle
     viewer = userdb.credentials_for(users[0])
     t0 = time.perf_counter()
     for _ in range(iterations):
@@ -295,6 +300,54 @@ def procfs_section():
     }
 
 
+# -- separation oracle ------------------------------------------------------
+
+#: acceptance bound: oracle at sampling_rate=0.01 on the smoke point
+MAX_ORACLE_OVERHEAD = 0.10
+
+
+def oracle_section() -> dict:
+    """Run the smoke point of every hot path under the separation oracle.
+
+    Two sub-measurements: a **full-sampling fail-fast pass** (every
+    decision checked and shadow-compared; any violation aborts the
+    benchmark), and an **overhead pass** at the production
+    ``sampling_rate=0.01`` against the bare scheduler trial, bounded by
+    ``MAX_ORACLE_OVERHEAD``.  Best-of-2 on each timed side so the ratio
+    reflects cost, not scheduler jitter.
+    """
+    from repro.oracle import SeparationOracle
+    n_nodes, n_events = SWEEP[0]
+    full = SeparationOracle(sampling_rate=1.0, fail_fast=True)
+    run_sched_trial(n_nodes, n_events, naive=False, oracle=full)
+    run_ubf_trial(naive=False, oracle=full)
+    run_procfs_trial(naive=False, iterations=20, oracle=full)
+    full.assert_clean()
+
+    sampled = SeparationOracle(sampling_rate=0.01, fail_fast=True)
+    bare_eps = oracle_eps = 0.0
+    for _ in range(2):
+        bare = run_sched_trial(n_nodes, n_events, naive=False)
+        timed = run_sched_trial(n_nodes, n_events, naive=False,
+                                oracle=sampled)
+        bare_eps = max(bare_eps, bare["events_per_sec"])
+        oracle_eps = max(oracle_eps, timed["events_per_sec"])
+    sampled.assert_clean()
+    overhead = bare_eps / oracle_eps - 1.0
+    return {
+        "full_sampling": {
+            "checks": full.total_checks,
+            "shadow_checks": full.shadow_checks,
+            "violations": len(full.violations),
+            "per_invariant": {r["id"]: r["checks"] for r in full.summary()},
+        },
+        "sampling_rate": 0.01,
+        "bare_events_per_sec": bare_eps,
+        "oracle_events_per_sec": oracle_eps,
+        "overhead": round(overhead, 4),
+    }
+
+
 # -- orchestration ----------------------------------------------------------
 
 def run_e24(points) -> dict:
@@ -304,6 +357,7 @@ def run_e24(points) -> dict:
         "points": [],
         "ubf": ubf_section(),
         "procfs": procfs_section(),
+        "oracle": oracle_section(),
     }
     for i, (n_nodes, n_events) in enumerate(points):
         differential = i == 0  # full placement diff at the smallest point
@@ -340,6 +394,17 @@ def _report(results: dict) -> None:
           results["procfs"]["indexed"]["listings_per_sec"],
           results["procfs"]["naive"]["listings_per_sec"],
           f"{results['procfs']['speedup']}x", "-"]])
+    orc = results["oracle"]
+    print_table(
+        "E24: separation oracle",
+        ["pass", "checks", "shadow", "violations", "overhead"],
+        [["full sampling", orc["full_sampling"]["checks"],
+          orc["full_sampling"]["shadow_checks"],
+          orc["full_sampling"]["violations"], "-"],
+         [f"sampled ({orc['sampling_rate']:g})", "-", "-", "-",
+          f"{orc['overhead'] * 100:.1f}% "
+          f"({orc['oracle_events_per_sec']:g} vs "
+          f"{orc['bare_events_per_sec']:g} ev/s)"]])
 
 
 def test_e24_scale_smoke(benchmark):
@@ -357,6 +422,15 @@ def test_e24_scale_smoke(benchmark):
     }
     assert results["ubf"]["verdicts_identical"]
     assert results["procfs"]["views_identical"]
+    orc = results["oracle"]
+    assert orc["full_sampling"]["violations"] == 0
+    assert orc["full_sampling"]["checks"] > 0
+    assert orc["full_sampling"]["shadow_checks"] > 0
+    assert all(orc["full_sampling"]["per_invariant"][i] > 0
+               for i in ("I1", "I2", "I4"))
+    assert orc["overhead"] < MAX_ORACLE_OVERHEAD, (
+        f"oracle at sampling_rate=0.01 cost {orc['overhead']:.1%} "
+        f"(bound {MAX_ORACLE_OVERHEAD:.0%})")
     for p in results["points"]:
         assert p["indexed"]["events"] >= p["target_events"] * 0.9
     if full:

@@ -49,6 +49,8 @@ def load_image(node: LinuxNode, creds: Credentials,
 
 @dataclass(frozen=True)
 class StaleContainer:
+    """A container instance left on node-local disk by a finished job."""
+
     path: str
     owner_uid: int
     size_bytes: int

@@ -24,6 +24,8 @@ from repro.kernel.users import User
 
 @dataclass(frozen=True)
 class ImageFile:
+    """One file (or directory) packed inside a container image."""
+
     path: str  # absolute path inside the container
     data: bytes = b""
     mode: int = 0o755

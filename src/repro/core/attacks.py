@@ -35,6 +35,8 @@ ARGV_SECRET = "--db-password=hunter2"
 
 @dataclass(frozen=True)
 class AttackResult:
+    """Outcome of one probe: did it leak, and was the path intended?"""
+
     name: str
     area: str
     leaked: bool
@@ -84,6 +86,8 @@ def _try(fn, *args, **kwargs) -> tuple[bool, str]:
 # --------------------------------------------------------------------------
 
 class PsSnoop(Attack):
+    """Probe: read other users' process listings with ``ps``."""
+
     name = "ps-snoop"
     area = "processes"
 
@@ -112,6 +116,8 @@ class ProcArgvSecret(Attack):
 
 
 class ProcUidEnumeration(Attack):
+    """Probe: enumerate which uids are active from /proc status files."""
+
     name = "proc-uid-enumeration"
     area = "processes"
 
@@ -127,6 +133,8 @@ class ProcUidEnumeration(Attack):
 # --------------------------------------------------------------------------
 
 class SqueueSnoop(Attack):
+    """Probe: observe other users' jobs in the ``squeue`` listing."""
+
     name = "squeue-snoop"
     area = "scheduler"
 
@@ -140,6 +148,8 @@ class SqueueSnoop(Attack):
 
 
 class SqueueMetadata(Attack):
+    """Probe: harvest job names and metadata from ``squeue`` output."""
+
     name = "squeue-metadata"
     area = "scheduler"
 
@@ -154,6 +164,8 @@ class SqueueMetadata(Attack):
 
 
 class SacctUsage(Attack):
+    """Probe: read other users' accounting records via ``sacct``."""
+
     name = "sacct-usage"
     area = "scheduler"
 
@@ -166,6 +178,8 @@ class SacctUsage(Attack):
 
 
 class SshIdleNode(Attack):
+    """Probe: ssh into a compute node without holding a job there."""
+
     name = "ssh-without-job"
     area = "scheduler"
 
@@ -175,6 +189,8 @@ class SshIdleNode(Attack):
 
 
 class CoResidency(Attack):
+    """Probe: co-locate a job on a node running another user's job."""
+
     name = "co-residency"
     area = "scheduler"
 
@@ -191,6 +207,8 @@ class CoResidency(Attack):
 # --------------------------------------------------------------------------
 
 class ChmodWorldHome(Attack):
+    """Probe: chmod a home directory open and read it cross-user."""
+
     name = "chmod-world-home"
     area = "filesystem"
 
@@ -210,6 +228,8 @@ class ChmodWorldHome(Attack):
 
 
 class TmpWorldFile(Attack):
+    """Probe: leave a world-readable /tmp file for a stranger to read."""
+
     name = "tmp-world-file"
     area = "filesystem"
 
@@ -225,6 +245,8 @@ class TmpWorldFile(Attack):
 
 
 class DevShmFile(Attack):
+    """Probe: pass data cross-user through a world-readable /dev/shm file."""
+
     name = "dev-shm-file"
     area = "filesystem"
 
@@ -240,6 +262,8 @@ class DevShmFile(Attack):
 
 
 class AclUserGrant(Attack):
+    """Probe: setfacl a private file to a specific foreign uid."""
+
     name = "acl-user-grant"
     area = "filesystem"
 
@@ -290,6 +314,8 @@ class ChgrpSharedGroup(Attack):
 
 
 class HomeWalk(Attack):
+    """Probe: walk into other users' home directories directly."""
+
     name = "home-walk"
     area = "filesystem"
 
@@ -416,6 +442,8 @@ def _victim_service(cluster, port=5000, proto=Proto.TCP):
 
 
 class TcpCrossUser(Attack):
+    """Probe: connect over TCP to another user's listening port."""
+
     name = "tcp-connect-cross-user"
     area = "network"
 
@@ -432,6 +460,8 @@ class TcpCrossUser(Attack):
 
 
 class UdpCrossUser(Attack):
+    """Probe: send a UDP datagram to another user's socket."""
+
     name = "udp-cross-user"
     area = "network"
 
@@ -541,6 +571,8 @@ def _victim_webapp(cluster):
 
 
 class PortalUnauthenticated(Attack):
+    """Probe: fetch a portal app page without authenticating."""
+
     name = "portal-unauthenticated"
     area = "portal"
 
@@ -554,6 +586,8 @@ class PortalUnauthenticated(Attack):
 
 
 class PortalCrossUser(Attack):
+    """Probe: fetch another user's portal app from a valid session."""
+
     name = "portal-cross-user"
     area = "portal"
 
@@ -629,6 +663,8 @@ class SlurmStdoutSnoop(Attack):
 # --------------------------------------------------------------------------
 
 class GpuResidue(Attack):
+    """Probe: read GPU memory residue left by the previous user's job."""
+
     name = "gpu-residue"
     area = "gpu"
 
@@ -657,6 +693,8 @@ class GpuResidue(Attack):
 
 
 class GpuUnallocatedOpen(Attack):
+    """Probe: open a GPU /dev file without holding the allocation."""
+
     name = "gpu-unallocated-open"
     area = "gpu"
 

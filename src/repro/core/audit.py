@@ -32,6 +32,8 @@ def standard_cluster(config: SeparationConfig, **overrides) -> Cluster:
 
 @dataclass
 class AuditReport:
+    """Results of the adversarial probe battery against one cluster."""
+
     config: SeparationConfig
     results: list[AttackResult] = field(default_factory=list)
 

@@ -13,6 +13,7 @@ spawned shell process, and the syscall façade user code programs against.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from repro.containers.runtime import SingularityRuntime
@@ -93,6 +94,9 @@ class Cluster:
     #: present, new sessions get a counting syscall façade (allow/deny
     #: telemetry) — behaviour is unchanged either way.
     telemetry: "object | None" = None
+    #: separation oracle; set by repro.oracle.attach_oracle (or the
+    #: REPRO_ORACLE=1 environment gate below).  Strictly additive.
+    oracle: "object | None" = None
 
     # ------------------------------------------------------------------ build
 
@@ -237,6 +241,19 @@ class Cluster:
             dtn_nodes=dtn_nodes,
         )
         cluster._build_storage_layout(projects or {})
+        if os.environ.get("REPRO_ORACLE"):
+            # Suite-wide invariant checking: REPRO_ORACLE=1 arms every
+            # cluster any test builds, fail-fast by default so a violating
+            # decision fails the test that made it (the CI oracle job).
+            from repro.oracle import attach_oracle
+            attach_oracle(
+                cluster,
+                sampling_rate=float(
+                    os.environ.get("REPRO_ORACLE_RATE", "1.0")),
+                shadow_rate=float(os.environ["REPRO_ORACLE_SHADOW"])
+                if "REPRO_ORACLE_SHADOW" in os.environ else None,
+                fail_fast=os.environ.get("REPRO_ORACLE_FAILFAST",
+                                         "1") != "0")
         return cluster
 
     def _build_storage_layout(self, projects: dict[str, tuple[str, ...]]) -> None:

@@ -28,6 +28,8 @@ from repro.sched.prolog_epilog import GPU_MODE_ASSIGNED, GPU_MODE_UNASSIGNED, gp
 
 @dataclass(frozen=True)
 class Finding:
+    """One node's observed deviation from its configured control."""
+
     node: str
     control: str
     expected: str
@@ -40,6 +42,8 @@ class Finding:
 
 @dataclass
 class ComplianceReport:
+    """Aggregated drift findings from a fleet compliance sweep."""
+
     config: SeparationConfig
     findings: list[Finding] = field(default_factory=list)
     checks_run: int = 0

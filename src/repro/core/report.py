@@ -97,6 +97,35 @@ def posture_report(cluster: Cluster, *,
                         else "**BROKEN**") + ".")
         lines.append("")
 
+    # -- invariant verification ----------------------------------------------
+    oracle = getattr(cluster, "oracle", None)
+    if oracle is not None:
+        lines += ["## Invariant verification", ""]
+        summary = oracle.summary()
+        checked = sum(r["checks"] for r in summary)
+        if not oracle.violations:
+            lines.append(
+                f"The separation oracle checked {checked} enforcement "
+                f"decisions online (sampling_rate="
+                f"{oracle.sampling_rate:g}, {oracle.shadow_checks} "
+                "shadow-reference comparisons) with **zero invariant "
+                "violations**.")
+        else:
+            lines.append(
+                f"**{len(oracle.violations)} invariant violation(s)** "
+                f"across {checked} checked decisions:")
+            lines.append("")
+            lines.append(_md_table(
+                ["time", "invariant", "subject", "detail"],
+                [[f"{v.time:g}", v.invariant, v.subject, v.detail]
+                 for v in oracle.violations]))
+        lines.append("")
+        lines.append(_md_table(
+            ["invariant", "paper §", "title", "checks", "violations"],
+            [[r["id"], r["section"], r["title"], r["checks"],
+              r["violations"]] for r in summary]))
+        lines.append("")
+
     # -- telemetry --------------------------------------------------------------
     log = getattr(cluster, "security_log", None)
     if log is not None:

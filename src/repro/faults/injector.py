@@ -38,6 +38,8 @@ from repro.sim.rng import make_rng
 
 
 class FaultKind(enum.Enum):
+    """The kinds of infrastructure fault the injector can impose."""
+
     HOST_UNREACHABLE = "host-unreachable"
     IDENTD_UNRESPONSIVE = "identd-unresponsive"
     IDENTD_SLOW = "identd-slow"

@@ -36,6 +36,8 @@ class GPUDevice:
     #: :func:`repro.monitor.wiring.instrument_cluster` to emit GPU_DENY)
     deny_hook: Callable | None = field(default=None, repr=False,
                                        compare=False)
+    #: separation oracle (repro.oracle); None = zero-cost hooks
+    oracle: object | None = field(default=None, repr=False, compare=False)
 
     def __post_init__(self):
         self.memory = np.zeros(self.mem_bytes, dtype=np.uint8)
@@ -55,6 +57,8 @@ class GPUDevice:
     def dev_read(self, creds) -> bytes:
         """Map device memory: returns whatever is resident — including a
         previous user's data if nobody scrubbed."""
+        if self.oracle is not None:
+            self.oracle.check_gpu_read(self, creds)
         return self.memory.tobytes()
 
     def on_access_denied(self, creds, path: str) -> None:

@@ -24,6 +24,8 @@ ROOT_CREDS = Credentials(uid=0, egid=0, groups=frozenset({0}))
 
 
 class NodeRole(enum.Enum):
+    """The role a host plays in the cluster."""
+
     LOGIN = "login"
     COMPUTE = "compute"
     DTN = "dtn"  # data transfer node

@@ -22,6 +22,8 @@ SIGTERM = 15
 
 
 class ProcState(enum.Enum):
+    """Lifecycle state of a simulated process."""
+
     RUNNING = "R"
     SLEEPING = "S"
     ZOMBIE = "Z"

@@ -72,6 +72,8 @@ class ProcFS:
         self.table = table
         self.options = options
         self.naive = naive
+        #: separation oracle (repro.oracle); None = zero-cost hooks
+        self.oracle = None
 
     # -- visibility predicates ----------------------------------------------
 
@@ -100,9 +102,13 @@ class ProcFS:
         if (not self.naive and self.options.hidepid == 2
                 and not self._exempt(viewer)):
             # hidepid=2 hides everything but the viewer's own processes.
-            return [p.pid for p in self.table.of_user(viewer.uid)]
-        return [p.pid for p in self.table.processes()
-                if self.pid_visible(viewer, p)]
+            procs = self.table.of_user(viewer.uid)
+        else:
+            procs = [p for p in self.table.processes()
+                     if self.pid_visible(viewer, p)]
+        if self.oracle is not None:
+            self.oracle.check_procfs_view(self, viewer, procs, "list_pids")
+        return [p.pid for p in procs]
 
     def _lookup(self, viewer: Credentials, pid: int) -> Process:
         try:
@@ -121,12 +127,16 @@ class ProcFS:
         proc = self._lookup(viewer, pid)
         if not self.pid_readable(viewer, proc):
             raise AccessDenied(f"/proc/{pid}/cmdline")
+        if self.oracle is not None:
+            self.oracle.check_procfs_view(self, viewer, [proc], "read")
         return proc.cmdline
 
     def read_status(self, viewer: Credentials, pid: int) -> dict[str, object]:
         proc = self._lookup(viewer, pid)
         if not self.pid_readable(viewer, proc):
             raise AccessDenied(f"/proc/{pid}/status")
+        if self.oracle is not None:
+            self.oracle.check_procfs_view(self, viewer, [proc], "read")
         return {
             "Name": proc.comm,
             "Pid": proc.pid,
@@ -151,6 +161,8 @@ class ProcFS:
             procs = [p for p in self.table.processes()
                      if self.pid_visible(viewer, p)
                      and self.pid_readable(viewer, p)]
+        if self.oracle is not None:
+            self.oracle.check_procfs_view(self, viewer, procs, "ps")
         return [PsEntry(pid=proc.pid, uid=proc.creds.uid,
                         comm=proc.comm, cmdline=proc.cmdline,
                         state=proc.state.value, rss_mb=proc.rss_mb)
@@ -161,8 +173,13 @@ class ProcFS:
         information-leak metric of experiment E1."""
         if (not self.naive and self.options.hidepid in (1, 2)
                 and not self._exempt(viewer)):
-            return {viewer.uid} if self.table.of_user(viewer.uid) else set()
-        return {p.uid for p in self.ps(viewer)}
+            uids = {viewer.uid} if self.table.of_user(viewer.uid) else set()
+        else:
+            uids = {p.uid for p in self.ps(viewer)}
+        if self.oracle is not None:
+            self.oracle.check_procfs_view(self, viewer, (),
+                                          "visible_users", uids=uids)
+        return uids
 
     # -- aggregate files (hidepid does NOT hide these) ------------------------
 

@@ -53,6 +53,8 @@ S_ISVTX = 0o1000  # sticky
 
 
 class FileKind(enum.Enum):
+    """Inode type: file, directory, device, socket, or symlink."""
+
     FILE = "file"
     DIR = "dir"
     DEVICE = "device"
@@ -81,6 +83,8 @@ class AclEntry:
 
 @dataclass
 class Inode:
+    """One filesystem object: mode, ownership, ACL, and content."""
+
     ino: int
     kind: FileKind
     uid: int
@@ -192,6 +196,8 @@ class Filesystem:
 
 @dataclass(frozen=True)
 class Mount:
+    """A mount-table entry binding a path prefix to a filesystem."""
+
     path: str  # normalized absolute mount point, e.g. "/home"
     fs: Filesystem
 
@@ -240,6 +246,8 @@ class VFS:
         # timestamp source for mtime/atime; the cluster wires this to the
         # simulation engine's clock
         self.clock: Callable[[], float] = lambda: 0.0
+        #: separation oracle (repro.oracle); None = zero-cost hooks
+        self.oracle = None
         self._mounts: dict[str, Mount] = {"/": Mount("/", self.rootfs)}
 
     # -- mounts ------------------------------------------------------------
@@ -381,6 +389,8 @@ class VFS:
         if kind is FileKind.DIR and parent.setgid:
             eff |= S_ISGID  # setgid propagates to subdirectories
         inode = fs.alloc_inode(kind, creds.uid, gid, eff)
+        if self.oracle is not None and fs.honors_smask:
+            self.oracle.check_vfs_mode(self, path, creds, eff, "create")
         inode.mtime = inode.atime = self.clock()
         if data:
             inode.data.extend(data)
@@ -612,6 +622,9 @@ class VFS:
         if not creds.is_root and creds.uid != inode.uid:
             raise PermissionError_(f"chmod {path!r}: not owner")
         inode.mode = self.handler.effective_mode(mode, creds)
+        if self.oracle is not None:
+            self.oracle.check_vfs_mode(self, path, creds, inode.mode,
+                                       "chmod")
         return inode.mode
 
     def chown(self, path: str, creds: Credentials, *, uid: int | None = None,
@@ -648,6 +661,8 @@ class VFS:
         inode.acl = [e for e in inode.acl
                      if (e.tag, e.qualifier) != (entry.tag, entry.qualifier)]
         inode.acl.append(entry)
+        if self.oracle is not None:
+            self.oracle.check_vfs_acl(self, path, creds, entry)
 
     def getfacl(self, path: str, creds: Credentials) -> list[AclEntry]:
         return list(self.resolve(path, creds).acl)

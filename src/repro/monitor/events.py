@@ -25,6 +25,8 @@ from dataclasses import dataclass, field
 
 
 class EventKind(enum.Enum):
+    """Kinds of security event the enforcement points emit."""
+
     NET_DENY = "net-deny"
     PAM_DENY = "pam-deny"
     FS_DENY = "fs-deny"
@@ -34,10 +36,13 @@ class EventKind(enum.Enum):
     PORTAL_DENY = "portal-deny"  # portal request refused (auth failure)
     ADMIN = "admin"  # seepid/smask_relax invocations (escalation audit)
     DEGRADED = "degraded"  # UBF verdict under identity-infrastructure fault
+    ORACLE = "oracle-violation"  # separation invariant violated (repro.oracle)
 
 
 @dataclass(frozen=True)
 class SecurityEvent:
+    """One auditable enforcement decision: who, what, and why."""
+
     time: float
     kind: EventKind
     subject_uid: int          # who attempted
@@ -84,6 +89,8 @@ class SecurityEventLog:
 
 @dataclass(frozen=True)
 class ProbeAlert:
+    """A principal whose denial pattern crossed the probe thresholds."""
+
     subject_uid: int
     denials: int
     distinct_targets: int
@@ -117,8 +124,10 @@ def detect_probe_patterns(log: SecurityEventLog, *,
     per_subject: dict[int, list[SecurityEvent]] = defaultdict(list)
     for e in events:
         # ADMIN is audit, not denial; DEGRADED blames infrastructure, not
-        # the principal — neither should trip the scanner heuristic.
-        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED):
+        # the principal; ORACLE blames the *enforcement code* — none
+        # should trip the scanner heuristic.
+        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
+                          EventKind.ORACLE):
             per_subject[e.subject_uid].append(e)
     alerts = []
     for uid, evs in per_subject.items():

@@ -47,6 +47,12 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
     log = SecurityEventLog()
     cluster.security_log = log  # type: ignore[attr-defined]
 
+    # An already-attached separation oracle starts emitting ORACLE events
+    # here (attach order is free, as with the telemetry spine).
+    oracle = getattr(cluster, "oracle", None)
+    if oracle is not None and oracle.events is None:
+        oracle.events = log
+
     # UBF denials: wrap each daemon's decide()
     for daemon in cluster.ubf_daemons.values():
         original = daemon.decide
@@ -142,6 +148,7 @@ class AuditedSyscalls:
 
 def audited_session(session: Session,
                     log: SecurityEventLog) -> AuditedSyscalls:
+    """Wrap *session*'s syscalls so denials are recorded in *log*."""
     return AuditedSyscalls(session, log)
 
 

@@ -29,17 +29,23 @@ from repro.sim.metrics import MetricSet
 
 
 class Proto(enum.Enum):
+    """Transport protocol of a flow."""
+
     TCP = "tcp"
     UDP = "udp"
 
 
 class Verdict(enum.Enum):
+    """Firewall decision for a packet."""
+
     ACCEPT = "accept"
     DROP = "drop"
     NFQUEUE = "nfqueue"
 
 
 class ConnState(enum.Enum):
+    """Conntrack state of a tracked connection."""
+
     NEW = "new"
     ESTABLISHED = "established"
 
@@ -112,6 +118,8 @@ class Rule:
 
 @dataclass
 class ConntrackEntry:
+    """One tracked connection and the verdict stamped on its flow."""
+
     flow: FiveTuple
     packets: int = 0
     bytes: int = 0

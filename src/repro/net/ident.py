@@ -38,6 +38,8 @@ class IdentUnavailable(TimedOut):
 
 @dataclass(frozen=True)
 class IdentReply:
+    """The identd answer: uid, egid, and full group membership."""
+
     uid: int
     egid: int
     groups: frozenset[int]

@@ -160,6 +160,8 @@ class Connection:
 
 @dataclass(frozen=True)
 class Datagram:
+    """One UDP datagram in flight."""
+
     src_host: str
     src_port: int
     data: bytes

@@ -144,6 +144,8 @@ class UBFDaemon:
     ident_backoff_us: float = 200.0
     #: optional span source (repro.obs.trace.Tracer); None = no tracing cost
     tracer: object | None = None
+    #: separation oracle (repro.oracle); None = zero-cost hooks
+    oracle: object | None = field(default=None, repr=False)
     #: original sequential/unsharded reference path for differential testing.
     naive: bool = False
     cache_shards: int = 8
@@ -256,6 +258,8 @@ class UBFDaemon:
                       else self._sharded.get(key))
             if cached is not None:
                 self.fabric.metrics.counter("ubf_cache_hits").inc()
+                if self.oracle is not None:
+                    self.oracle.check_ubf_cached(self, key, cached)
                 return self._log(pkt, pkt.src_uid, listener.uid,
                                  listener.egid, cached, "cached"), listener
         return None, listener
@@ -264,11 +268,17 @@ class UBFDaemon:
                   initiator: IdentReply | None) -> Verdict:
         """The post-ident phase: rule, cache store, full-decision metrics."""
         if initiator is None:
+            if self.oracle is not None:
+                self.oracle.check_ubf_conclude(self, pkt, listener, None,
+                                               Verdict.DROP)
             return self._log(pkt, None, listener.uid, listener.egid,
                              Verdict.DROP, "initiator unidentifiable")
         rule = self._rule if self.naive else self._rule_indexed
         verdict, reason = rule(initiator.uid, initiator.groups,
                                listener.uid, listener.egid)
+        if self.oracle is not None:
+            self.oracle.check_ubf_conclude(self, pkt, listener, initiator,
+                                           verdict)
         if self.cache_enabled:
             key = (initiator.uid, listener.uid, listener.egid)
             if self.naive:
@@ -354,6 +364,8 @@ class UBFDaemon:
         """
         policy = "fail-open" if self.fail_open else "fail-closed"
         verdict = Verdict.ACCEPT if self.fail_open else Verdict.DROP
+        if self.oracle is not None:
+            self.oracle.check_ubf_degraded(self, verdict)
         self.fabric.metrics.counter("ubf_degraded_verdicts",
                                     policy=policy).inc()
         return self._log(pkt, None, listener.uid, listener.egid, verdict,

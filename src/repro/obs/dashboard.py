@@ -66,11 +66,13 @@ def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
     Each row: ``user``, ``uid``, ``denials``, ``kinds`` (kind → count),
     ``distinct_targets``, ``first``/``last`` event times.  ADMIN escalation
     records are excluded (they are audit, not denial), as are DEGRADED
-    verdicts (those blame failing infrastructure, not the principal).
+    verdicts (those blame failing infrastructure, not the principal) and
+    ORACLE violations (those blame the enforcement code itself).
     """
     per_uid: dict[int, list] = defaultdict(list)
     for e in log.events:
-        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED):
+        if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
+                          EventKind.ORACLE):
             per_uid[e.subject_uid].append(e)
     rows = []
     for uid, evs in per_uid.items():
@@ -183,6 +185,33 @@ def ops_dashboard(cluster, *, window: float | None = None,
         else:
             lines.append("No denials recorded for any principal.")
         lines.append("")
+
+    # -- separation oracle --------------------------------------------------
+    lines += ["## Separation oracle", ""]
+    oracle = getattr(cluster, "oracle", None)
+    if oracle is None:
+        lines.append("Oracle not attached (run `attach_oracle`).")
+        lines.append("")
+    else:
+        lines.append(
+            f"sampling_rate={oracle.sampling_rate:g} · "
+            f"shadow_rate={oracle.shadow_rate:g} · "
+            f"fail_fast={oracle.fail_fast} · "
+            f"{oracle.total_checks} checks "
+            f"({oracle.shadow_checks} shadow-reference) · "
+            f"{len(oracle.violations)} violations")
+        lines.append("")
+        lines.append(_md_table(
+            ["invariant", "paper §", "title", "checks", "violations"],
+            [[r["id"], r["section"], r["title"], r["checks"],
+              r["violations"]] for r in oracle.summary()]))
+        lines.append("")
+        if oracle.violations:
+            lines.append(_md_table(
+                ["time", "invariant", "subject", "detail"],
+                [[f"{v.time:g}", v.invariant, v.subject, v.detail]
+                 for v in oracle.violations]))
+            lines.append("")
 
     # -- degradation posture -----------------------------------------------
     lines += ["## Degradation posture", ""]

@@ -30,6 +30,7 @@ _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def event_to_dict(event: SecurityEvent) -> dict[str, object]:
+    """Serialise a :class:`SecurityEvent` to a JSON-ready dict."""
     return {
         "type": "event",
         "time": event.time,
@@ -41,6 +42,7 @@ def event_to_dict(event: SecurityEvent) -> dict[str, object]:
 
 
 def span_to_dict(span: Span) -> dict[str, object]:
+    """Serialise a finished :class:`Span` to a JSON-ready dict."""
     return {"type": "span", **span.to_dict()}
 
 

@@ -38,6 +38,8 @@ from repro.portal.webapp import WebApp
 
 @dataclass(frozen=True)
 class PortalSession:
+    """An authenticated portal session and its bearer token."""
+
     token: str
     user: User
     issued_at: float = 0.0
@@ -60,6 +62,8 @@ class Portal:
     event_log: object | None = None
     #: span source (repro.obs.trace.Tracer) for request forwarding
     tracer: object | None = None
+    #: separation oracle (repro.oracle); None = zero-cost hooks
+    oracle: object | None = None
     _routes: dict[int, WebApp] = field(default_factory=dict)
     _sessions: dict[str, PortalSession] = field(default_factory=dict)
     _rng_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
@@ -98,8 +102,11 @@ class Portal:
 
     def routes_for(self, session: PortalSession) -> list[WebApp]:
         """Apps the portal lists for this user: their own only."""
-        return [a for a in self._routes.values()
+        apps = [a for a in self._routes.values()
                 if a.owner_uid == session.user.uid]
+        if self.oracle is not None:
+            self.oracle.check_portal_routes(self, session, apps)
+        return apps
 
     # -- forwarding ------------------------------------------------------------------
 
@@ -163,6 +170,8 @@ class Portal:
             page = conn.recv()
             conn.close()
             self._count("allow")
+            if self.oracle is not None:
+                self.oracle.check_portal_forward(self, user, creds, app)
             return page
         except TimedOut:
             # the forwarded hop was dropped by the destination's UBF; the

@@ -16,6 +16,8 @@ from repro.sched.jobs import Job, JobState
 
 @dataclass(frozen=True)
 class UsageRecord:
+    """One finished job's accounted usage (the ``sacct`` row)."""
+
     job_id: int
     uid: int
     user_name: str

@@ -18,6 +18,8 @@ from repro.kernel.users import User
 
 
 class JobState(enum.Enum):
+    """Lifecycle states of a job."""
+
     PENDING = "PD"
     RUNNING = "R"
     COMPLETED = "CD"

@@ -26,6 +26,8 @@ import enum
 
 
 class NodeSharing(enum.Enum):
+    """Node-sharing policy: shared, whole-node-per-user, or exclusive."""
+
     SHARED = "shared"
     EXCLUSIVE = "exclusive"
     WHOLE_NODE_USER = "whole_node_user"

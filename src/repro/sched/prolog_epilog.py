@@ -40,6 +40,7 @@ class GpuSeparationConfig:
 
 
 def gpu_dev_path(index: int) -> str:
+    """Path of the /dev character file for GPU *index*."""
     return f"/dev/nvidia{index}"
 
 

@@ -54,6 +54,8 @@ EpilogHook = Callable[[Job, ComputeNode], None]
 
 @dataclass
 class SchedulerConfig:
+    """Tunable scheduler behaviour (sharing policy, backfill, dispatch)."""
+
     policy: NodeSharing = NodeSharing.SHARED
     backfill: bool = True
     #: resubmit NODE_FAIL victims automatically (Slurm's JobRequeue)
@@ -87,6 +89,8 @@ class Scheduler:
         #: job's submit → queue → prolog → run → epilog lifecycle becomes
         #: one trace.  None (the default) costs nothing on the hot path.
         self.tracer = None
+        #: separation oracle (repro.oracle); None = zero-cost hooks
+        self.oracle = None
         self._job_spans: dict[int, dict[str, object]] = {}
         self._ids = itertools.count(1)
         self.jobs: dict[int, Job] = {}
@@ -389,6 +393,10 @@ class Scheduler:
             self._note_queue_depth()
 
     def _start(self, job: Job, plan: list[tuple[ComputeNode, int]]) -> None:
+        if self.oracle is not None:
+            # before any allocation mutates node state, so the oracle sees
+            # exactly the co-residence/capacity facts the dispatcher did
+            self.oracle.check_sched_start(self, job, plan)
         now = self.engine.now
         job.state = JobState.RUNNING
         job.start_time = now

@@ -33,6 +33,8 @@ SSH_PORT = 22
 
 @dataclass(frozen=True)
 class TransferResult:
+    """Outcome of one completed transfer."""
+
     src: str
     dst: str
     bytes_moved: int
@@ -40,6 +42,8 @@ class TransferResult:
 
 @dataclass(frozen=True)
 class RemoteSpec:
+    """Parsed ``user@host:path`` remote endpoint."""
+
     host: str | None  # None = local to the session's node
     path: str
 

@@ -115,6 +115,8 @@ def serve_pending(job: Job) -> int:
 
 @dataclass(frozen=True)
 class TrainingRun:
+    """Handle to a submitted training job and its checkpoint path."""
+
     job: Job
     checkpoint_path: str
 

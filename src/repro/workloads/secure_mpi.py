@@ -39,6 +39,8 @@ CRYPTO_US_PER_MSG = 0.4
 
 @dataclass
 class CryptoStats:
+    """Counters for encrypted traffic and its modelled CPU cost."""
+
     messages: int = 0
     bytes_processed: int = 0
     mac_failures: int = 0

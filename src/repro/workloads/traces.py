@@ -35,6 +35,8 @@ class UserProfile:
 
 @dataclass
 class Trace:
+    """A replayable sequence of job submissions."""
+
     requests: list[JobRequest] = field(default_factory=list)
 
     @property

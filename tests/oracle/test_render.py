@@ -1,0 +1,91 @@
+"""Tests: oracle sections in the posture report and ops dashboard."""
+
+from __future__ import annotations
+
+from repro import LLSC, Cluster
+from repro.core.report import posture_report
+from repro.monitor import instrument_cluster
+from repro.obs import ops_dashboard
+from repro.oracle import attach_oracle
+from repro.oracle.oracle import Violation
+
+
+def build():
+    return Cluster.build(LLSC, n_compute=2, gpus_per_node=1,
+                         users=("alice", "bob"))
+
+
+def exercise(c):
+    c.submit("alice", duration=5.0, gpus_per_task=1)
+    c.run(until=60.0)
+    c.login("alice").sys.ps()
+
+
+class TestDashboardOracleSection:
+    def test_not_attached(self):
+        doc = ops_dashboard(build())
+        assert "## Separation oracle" in doc
+        assert "Oracle not attached (run `attach_oracle`)." in doc
+
+    def test_attached_but_idle_renders_zero_rows(self):
+        c = build()
+        attach_oracle(c)
+        doc = ops_dashboard(c)
+        assert "0 checks (0 shadow-reference) · 0 violations" in doc
+        for inv in ("I1", "I2", "I3", "I4", "I5", "I6"):
+            assert f"| {inv} |" in doc
+
+    def test_active_oracle_summary(self):
+        c = build()
+        oracle = attach_oracle(c)
+        exercise(c)
+        doc = ops_dashboard(c)
+        assert f"{oracle.total_checks} checks" in doc
+        assert "sampling_rate=1 · " in doc
+        assert "fail_fast=False" in doc
+        assert "| IV-F |" in doc  # invariant table cites paper sections
+
+    def test_violations_table_rendered(self):
+        c = build()
+        oracle = attach_oracle(c)
+        oracle.violations.append(Violation(
+            invariant="I2", time=3.5, subject="ubf:c-1",
+            detail="cross-user flow accepted"))
+        doc = ops_dashboard(c)
+        assert "1 violations" in doc
+        assert "| 3.5 | I2 | ubf:c-1 | cross-user flow accepted |" in doc
+
+    def test_oracle_events_not_counted_as_denials(self):
+        from repro.monitor.events import EventKind
+        from repro.obs import denial_posture
+        c = build()
+        log = instrument_cluster(c)
+        oracle = attach_oracle(c)
+        oracle.violations.append(Violation("I2", 0.0, "ubf:c-1", "x"))
+        log.emit(0.0, EventKind.ORACLE, -1, "ubf:c-1", "[I2] x")
+        assert denial_posture(log, c.userdb) == []
+
+
+class TestReportOracleSection:
+    def test_absent_without_oracle(self):
+        assert "## Invariant verification" not in posture_report(build())
+
+    def test_zero_violations_statement(self):
+        c = build()
+        attach_oracle(c)
+        exercise(c)
+        doc = posture_report(c)
+        assert "## Invariant verification" in doc
+        assert "**zero invariant violations**" in doc
+        assert "| I4 | IV-B |" in doc
+
+    def test_violations_tabled(self):
+        c = build()
+        oracle = attach_oracle(c)
+        oracle.violations.append(Violation(
+            invariant="I5", time=9.0, subject="gpu:c-1/nvidia0",
+            detail="residue survived"))
+        doc = posture_report(c)
+        assert "**1 invariant violation(s)**" in doc
+        assert "| 9 | I5 | gpu:c-1/nvidia0 | residue survived |" in doc
+        assert "zero invariant violations" not in doc
