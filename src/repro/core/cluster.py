@@ -34,7 +34,12 @@ from repro.sched.nodes import ComputeNode
 from repro.sched.partitions import Partition
 from repro.sched.policies import NodeSharing
 from repro.sched.privatedata import SchedulerView
-from repro.sched.prolog_epilog import GpuSeparationConfig, make_epilog, make_prolog
+from repro.sched.prolog_epilog import (
+    GpuSeparationConfig,
+    make_epilog,
+    make_prolog,
+    make_remediator,
+)
 from repro.sched.scheduler import Scheduler, SchedulerConfig
 from repro.sim.engine import Engine
 from repro.sim.metrics import MetricSet
@@ -97,6 +102,9 @@ class Cluster:
     #: separation oracle; set by repro.oracle.attach_oracle (or the
     #: REPRO_ORACLE=1 environment gate below).  Strictly additive.
     oracle: "object | None" = None
+    #: node health monitor; set by repro.sched.health.attach_health.
+    #: None = no heartbeat traffic, no fencing (admin fail_node still works).
+    health: "object | None" = None
 
     # ------------------------------------------------------------------ build
 
@@ -210,6 +218,10 @@ class Cluster:
             prolog=make_prolog(gpu_cfg),
             epilog=make_epilog(gpu_cfg),
             partitions=partitions)
+        # Fenced nodes skip their victims' epilogs; the remediator is the
+        # node-level recovery of the same Section IV-F post-conditions,
+        # run by Scheduler.remediate before the node rejoins dispatch.
+        scheduler.remediator = make_remediator(gpu_cfg)
 
         # PAM stacks need the scheduler (pam_slurm callback), so wire last.
         base_modules: list[PamModule] = [PamUnix()]

@@ -66,6 +66,36 @@ class ChaosController:
         table.set_capacity(capacity, reason="pressure")
         return self._arm(fault, for_)
 
+    def crash_node(self, host: str, *, for_: float | None = None) -> Fault:
+        """Power-fail *host*: heartbeats stop, every packet to it is lost.
+
+        Nothing is fenced here — detection is the
+        :class:`~repro.sched.health.HealthMonitor`'s job (it needs
+        ``down_after`` missed heartbeats to act, exactly like a real
+        failure detector).  ``for_=`` models the reboot arriving on its
+        own; :meth:`reboot_node` is the explicit form.
+        """
+        return self._arm(self.injector.inject(FaultKind.NODE_CRASH, host),
+                         for_)
+
+    def reboot_node(self, host: str) -> None:
+        """The crashed *host* comes back up (all its crash faults clear).
+
+        Only the power state changes: the node rejoins scheduling when the
+        health monitor sees its heartbeats return and runs the
+        remediation-gated rejoin path.
+        """
+        for fault in self.injector.active(FaultKind.NODE_CRASH, host):
+            self.clear(fault)
+
+    def flap_node(self, host: str, *, flake_rate: float = 0.5,
+                  for_: float | None = None) -> Fault:
+        """Make *host*'s heartbeat path flaky (each probe drops with
+        seeded probability *flake_rate*), exercising the health monitor's
+        flap damping."""
+        return self._arm(self.injector.inject(
+            FaultKind.NODE_FLAP, host, flake_rate=flake_rate), for_)
+
     # -- recovery -----------------------------------------------------------
 
     def clear(self, fault: Fault) -> None:
@@ -80,6 +110,8 @@ class ChaosController:
             table = self.cluster.fabric.host(fault.host).firewall.conntrack
             table.capacity = fault.params.get("_prev_capacity")
         self.injector.clear(fault)
+        if fault.kind in _HEALTH_KINDS:
+            self._wake_health()
 
     def heal_all(self) -> None:
         for fault in list(self.injector.active()):
@@ -91,4 +123,21 @@ class ChaosController:
     def _arm(self, fault: Fault, for_: float | None) -> Fault:
         if for_ is not None:
             self.cluster.engine.after(for_, lambda: self.clear(fault))
+        if fault.kind in _HEALTH_KINDS:
+            self._wake_health()
         return fault
+
+    def _wake_health(self) -> None:
+        """Nudge a dormant health monitor: its self-limiting tick loop may
+        have gone to sleep on an all-healthy cluster, and a freshly
+        injected (or cleared) node/host fault is exactly what it needs to
+        start observing again."""
+        health = getattr(self.cluster, "health", None)
+        if health is not None:
+            health.wake()
+
+
+#: fault kinds the health monitor observes via heartbeats — inject/clear
+#: of one wakes a dormant monitor
+_HEALTH_KINDS = frozenset({FaultKind.NODE_CRASH, FaultKind.NODE_FLAP,
+                           FaultKind.HOST_UNREACHABLE})

@@ -46,6 +46,13 @@ class FaultKind(enum.Enum):
     UBF_CRASH = "ubf-crash"
     PACKET_LOSS = "packet-loss"
     CONNTRACK_PRESSURE = "conntrack-pressure"
+    #: the node itself is down (power fail / kernel panic): heartbeats stop
+    #: and every packet to it is lost; detection and fencing are the health
+    #: monitor's job (repro.sched.health)
+    NODE_CRASH = "node-crash"
+    #: the node's heartbeat path flaps: each heartbeat is dropped with a
+    #: seeded probability (``flake_rate``) while the node otherwise works
+    NODE_FLAP = "node-flap"
 
 
 @dataclass(eq=False)  # identity semantics: each injection is its own fault
@@ -110,7 +117,28 @@ class FaultInjector:
     # -- predicates (the data path asks these) ------------------------------
 
     def host_unreachable(self, host: str) -> bool:
-        return bool(self.active(FaultKind.HOST_UNREACHABLE, host))
+        """Partitioned *or* crashed: either way no packet gets through."""
+        return bool(self.active(FaultKind.HOST_UNREACHABLE, host)
+                    or self.active(FaultKind.NODE_CRASH, host))
+
+    def node_crashed(self, host: str) -> bool:
+        return bool(self.active(FaultKind.NODE_CRASH, host))
+
+    def heartbeat_ok(self, host: str) -> bool:
+        """Did one heartbeat probe of *host* succeed right now?
+
+        A crashed or partitioned host answers nothing; a ``NODE_FLAP``
+        fault drops each probe with probability ``flake_rate`` (seeded
+        draws — identical runs observe identical flaps).
+        """
+        if self.host_unreachable(host):
+            return False
+        for fault in self.active(FaultKind.NODE_FLAP, host):
+            rate = float(fault.params.get("flake_rate", 0.5))
+            if rate > 0 and self._rng.random() < rate:
+                self.metrics.counter("fault_heartbeats_dropped").inc()
+                return False
+        return True
 
     def ident_attempt_ok(self, host: str) -> bool:
         """May one ident query to *host* succeed right now?

@@ -163,6 +163,22 @@ class ProcessTable:
             self.reap(pid, exit_code=-SIGKILL)
         return killed
 
+    def reap_orphans(self, live_job_ids: set[int]) -> list[int]:
+        """Reap every job-owned process whose job is not in *live_job_ids*.
+
+        Node remediation after a crash: daemons and init survive the reboot
+        model, job residue does not.  The caller passes the job ids that
+        still hold an allocation on this node (for a fenced node that set is
+        empty — a requeued job restarted *elsewhere* must not shield its
+        stale processes here).  Reaping goes through the normal indexes, so
+        procfs views resync for free.  Returns the reaped pids.
+        """
+        doomed = sorted(pid for jid, pids in self._by_job.items()
+                        if jid not in live_job_ids for pid in pids)
+        for pid in doomed:
+            self.reap(pid, exit_code=-SIGKILL)
+        return doomed
+
     def of_user(self, uid: int) -> list[Process]:
         """Live processes of *uid*, pid-sorted — O(own processes)."""
         owned = self._by_uid.get(uid, {})

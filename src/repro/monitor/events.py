@@ -37,6 +37,7 @@ class EventKind(enum.Enum):
     ADMIN = "admin"  # seepid/smask_relax invocations (escalation audit)
     DEGRADED = "degraded"  # UBF verdict under identity-infrastructure fault
     ORACLE = "oracle-violation"  # separation invariant violated (repro.oracle)
+    NODE_LIFECYCLE = "node-lifecycle"  # fencing/remediation/rejoin transitions
 
 
 @dataclass(frozen=True)
@@ -124,10 +125,11 @@ def detect_probe_patterns(log: SecurityEventLog, *,
     per_subject: dict[int, list[SecurityEvent]] = defaultdict(list)
     for e in events:
         # ADMIN is audit, not denial; DEGRADED blames infrastructure, not
-        # the principal; ORACLE blames the *enforcement code* — none
-        # should trip the scanner heuristic.
+        # the principal; ORACLE blames the *enforcement code*;
+        # NODE_LIFECYCLE blames hardware — none should trip the scanner
+        # heuristic.
         if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
-                          EventKind.ORACLE):
+                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE):
             per_subject[e.subject_uid].append(e)
     alerts = []
     for uid, evs in per_subject.items():

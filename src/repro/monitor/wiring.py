@@ -53,6 +53,14 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
     if oracle is not None and oracle.events is None:
         oracle.events = log
 
+    # Node-lifecycle transitions (fencing, hook failures, remediation,
+    # health-monitor state changes) share the same audit trail.
+    if cluster.scheduler.events is None:
+        cluster.scheduler.events = log
+    health = getattr(cluster, "health", None)
+    if health is not None and health.events is None:
+        health.events = log
+
     # UBF denials: wrap each daemon's decide()
     for daemon in cluster.ubf_daemons.values():
         original = daemon.decide

@@ -193,6 +193,24 @@ class ConntrackTable:
         if fwd is not None or rev is not None:
             self._count_eviction(reason)
 
+    def purge_host(self, host: str, reason: str = "dead-host") -> int:
+        """Evict every flow touching *host*; returns the eviction count.
+
+        Conntrack state referencing a dead peer is worse than useless: it
+        would keep admitting packets "from" a host that can no longer be
+        ident-verified once something else answers to its name.  Surviving
+        hosts call this when a peer's crash/partition persists past the
+        health monitor's TTL.
+        """
+        doomed = [f for f in self._table
+                  if host in (f.src_host, f.dst_host)]
+        for flow in doomed:
+            del self._table[flow]
+            self._count_eviction(reason)
+        if doomed:
+            self._note_size()
+        return len(doomed)
+
     def set_capacity(self, capacity: int | None,
                      reason: str = "pressure") -> int:
         """Re-bound the table, trimming LRU-first; returns evicted count."""

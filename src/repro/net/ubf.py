@@ -103,6 +103,10 @@ class ShardedVerdictCache:
     def put(self, key: tuple[int, int, int], verdict: Verdict) -> None:
         self._shard(key)[key] = verdict
 
+    def pop(self, key: tuple[int, int, int]) -> Verdict | None:
+        """Remove and return *key*'s verdict (None if absent)."""
+        return self._shard(key).pop(key, None)
+
     def clear(self) -> None:
         for shard in self._shards:
             shard.clear()
@@ -153,6 +157,10 @@ class UBFDaemon:
     alive: bool = True
     _cache: dict[tuple[int, int, int], Verdict] = field(default_factory=dict)
     _sharded: ShardedVerdictCache | None = field(default=None, repr=False)
+    #: initiating host -> cache keys its flows created, so a dead host's
+    #: cached identity decisions can be purged without a full flush
+    _keys_by_host: dict[str, set[tuple[int, int, int]]] = field(
+        default_factory=dict, repr=False)
     _allow_sets: dict[int, frozenset[int]] = field(default_factory=dict,
                                                    repr=False)
     _allow_gen: int = field(default=-1, repr=False)
@@ -285,6 +293,7 @@ class UBFDaemon:
                 self._cache[key] = verdict
             else:
                 self._sharded.put(key, verdict)
+            self._keys_by_host.setdefault(pkt.flow.src_host, set()).add(key)
         self.fabric.metrics.counter("ubf_full_decisions").inc()
         return self._log(pkt, initiator.uid, listener.uid, listener.egid,
                          verdict, reason)
@@ -433,9 +442,35 @@ class UBFDaemon:
             self.fabric.metrics.counter("ubf_denials").inc()
         return verdict
 
+    def purge_host(self, host: str) -> int:
+        """Drop every cached verdict whose deciding flow came from *host*.
+
+        Called when a peer host's crash/partition persists past the health
+        monitor's TTL: identity decisions derived from that host's ident
+        answers must not outlive it (whatever next answers to its name gets
+        a fresh authoritative decision).  A key shared with another live
+        host's flows is dropped too — conservatively forcing a re-decision,
+        never widening access.  Returns the number of entries purged.
+        """
+        keys = self._keys_by_host.pop(host, None)
+        if not keys:
+            return 0
+        purged = 0
+        for key in keys:
+            hit = self._cache.pop(key, None) is not None
+            if self._sharded.pop(key) is not None:
+                hit = True
+            if hit:
+                purged += 1
+        if purged:
+            self.fabric.metrics.counter(
+                "ubf_cache_purged_total", reason="dead-host").inc(purged)
+        return purged
+
     def flush_cache(self) -> None:
         self._cache.clear()
         self._sharded.clear()
+        self._keys_by_host.clear()
         self._allow_sets.clear()
         self._allow_gen = -1
 

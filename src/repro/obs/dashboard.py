@@ -66,13 +66,14 @@ def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
     Each row: ``user``, ``uid``, ``denials``, ``kinds`` (kind → count),
     ``distinct_targets``, ``first``/``last`` event times.  ADMIN escalation
     records are excluded (they are audit, not denial), as are DEGRADED
-    verdicts (those blame failing infrastructure, not the principal) and
-    ORACLE violations (those blame the enforcement code itself).
+    verdicts (those blame failing infrastructure, not the principal),
+    ORACLE violations (those blame the enforcement code itself), and
+    NODE_LIFECYCLE transitions (those blame hardware).
     """
     per_uid: dict[int, list] = defaultdict(list)
     for e in log.events:
         if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
-                          EventKind.ORACLE):
+                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE):
             per_uid[e.subject_uid].append(e)
     rows = []
     for uid, evs in per_uid.items():
@@ -230,12 +231,29 @@ def ops_dashboard(cluster, *, window: float | None = None,
         lines.append(f"UBF daemons down: {', '.join(dead)} "
                      "(kernel fails closed for NEW connections there).")
         lines.append("")
+    health = getattr(cluster, "health", None)
+    if health is not None:
+        counts = health.summary()
+        lines.append(
+            "Node health: " + " · ".join(
+                f"{counts[s]} {s}" for s in ("up", "suspect", "down")))
+        fenced = sorted(n.name for n in cluster.scheduler.nodes.values()
+                        if n.fenced or n.needs_remediation)
+        if fenced:
+            lines.append(f"Awaiting remediation: {', '.join(fenced)}.")
+        lines.append("")
     rows = []
     for family in ("ubf_degraded_verdicts", "ubf_ident_retries",
                    "ubf_ident_timeouts", "ident_query_failures",
                    "conntrack_evictions_total", "ubf_crashes",
                    "ubf_restarts", "fault_unreachable_drops",
-                   "fault_packets_dropped"):
+                   "fault_packets_dropped", "fault_heartbeats_dropped",
+                   "node_state_transitions_total", "node_fencings_total",
+                   "node_residue_total", "node_remediations_total",
+                   "node_rejoins_total", "node_flap_quarantines_total",
+                   "dead_host_purges_total", "jobs_requeued",
+                   "jobs_requeue_exhausted", "hook_failures_total",
+                   "epilog_skipped_fenced", "ubf_cache_purged_total"):
         for metric in sorted(metrics.family(family),
                              key=lambda m: (m.name, m.labels)):
             rows.append([_series_label(metric), int(metric.value)])

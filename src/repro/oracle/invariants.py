@@ -109,6 +109,20 @@ CATALOG: tuple[Invariant, ...] = (
             "the sanctioned egid-sharing path."),
         modules=("portal/gateway.py",),
     ),
+    Invariant(
+        id="I7",
+        title="a fenced node rejoins only after full remediation",
+        section="IV-B + IV-F",
+        statement=(
+            "No job is ever dispatched onto a node flagged as fenced or "
+            "needing remediation, and when a crashed node rejoins "
+            "scheduling its separation residue is gone: no orphan process "
+            "of a de-allocated job survives, and (when the corresponding "
+            "measures are configured) no unallocated GPU holds dirty "
+            "memory or a /dev file still naming the dead tenant's "
+            "private group."),
+        modules=("sched/scheduler.py", "sched/health.py"),
+    ),
 )
 
 #: id -> Invariant, for reports and metric-label validation.

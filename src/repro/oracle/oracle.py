@@ -364,6 +364,16 @@ class SeparationOracle:
         from repro.sched.policies import NodeSharing, tasks_placeable
         spec = job.spec
         subject = f"sched:job{job.job_id}"
+        # I7 facet: a plan naming a fenced/unremediated node would place
+        # the next tenant onto another tenant's residue.
+        self._count("I7")
+        for node, _ in plan:
+            if node.fenced or node.needs_remediation:
+                self._violation(
+                    "I7", subject,
+                    f"dispatch onto unremediated node {node.name} "
+                    f"(fenced={node.fenced}, "
+                    f"needs_remediation={node.needs_remediation})")
         policy = scheduler._policy_for(job)
         whole = policy is NodeSharing.EXCLUSIVE or spec.exclusive
         if sum(take for _, take in plan) != spec.ntasks:
@@ -409,6 +419,55 @@ class SeparationOracle:
                     "I4", subject,
                     f"indexed plan {got} diverges from reference "
                     f"first-fit plan {ref}")
+
+    # -- I7: node rejoin ----------------------------------------------------
+
+    def check_node_rejoin(self, scheduler, node) -> None:
+        """Remediation of *node* just completed: residue must be gone.
+
+        Invariant I7's rejoin half.  Every job-owned process whose job no
+        longer holds an allocation here must be reaped, and — when the
+        attached remediator promises the corresponding Section IV-F
+        measure — no unallocated GPU may stay dirty or keep a ``/dev``
+        file naming the dead tenant's private group.  Processes of jobs
+        *still* allocated (a drained node running out) are legitimate.
+        """
+        if self._busy or not self._sampled():
+            return
+        self._count("I7")
+        subject = f"node:{node.name}"
+        live = set(node.allocations)
+        orphans = [p.pid for p in node.node.procs.processes()
+                   if p.job_id is not None and p.job_id not in live]
+        if orphans:
+            self._violation(
+                "I7", subject,
+                f"orphan process(es) {orphans} survived remediation")
+        remediator = scheduler.remediator
+        scrub = getattr(remediator, "scrub_expected", False)
+        perms = getattr(remediator, "perms_expected", False)
+        if not (scrub or perms):
+            return
+        from repro.kernel.node import ROOT_CREDS
+        from repro.sched.prolog_epilog import (
+            GPU_MODE_UNASSIGNED,
+            gpu_dev_path,
+        )
+        busy = node.used_gpu_indices
+        for gpu in node.gpus:
+            if gpu.index in busy:
+                continue
+            if scrub and gpu.dirty:
+                self._violation(
+                    "I7", f"gpu:{node.name}/nvidia{gpu.index}",
+                    "dirty device memory survived node remediation")
+            if perms:
+                st = node.node.vfs.stat(gpu_dev_path(gpu.index), ROOT_CREDS)
+                if st.gid != 0 or (st.mode & 0o777) != GPU_MODE_UNASSIGNED:
+                    self._violation(
+                        "I7", f"gpu:{node.name}/nvidia{gpu.index}",
+                        f"released device left gid={st.gid} "
+                        f"mode={st.mode & 0o777:#o} after remediation")
 
     # -- I5: GPU assignment / scrub -----------------------------------------
 

@@ -7,6 +7,13 @@ from repro.sched.accounting import (
     UsageSummary,
     usage_summary,
 )
+from repro.sched.health import (
+    HealthMonitor,
+    NodeHealth,
+    NodeLifecycle,
+    NodeResidue,
+    attach_health,
+)
 from repro.sched.jobs import Allocation, Job, JobSpec, JobState
 from repro.sched.nodes import ComputeNode
 from repro.sched.partitions import DEFAULT_PARTITION, Partition
@@ -20,11 +27,14 @@ from repro.sched.prolog_epilog import (
     gpu_dev_path,
     make_epilog,
     make_prolog,
+    make_remediator,
 )
 from repro.sched.scheduler import Scheduler, SchedulerConfig
 
 __all__ = [
     "AccountingDB", "UsageRecord", "UsageSummary", "usage_summary",
+    "HealthMonitor", "NodeHealth", "NodeLifecycle", "NodeResidue",
+    "attach_health",
     "Allocation", "Job", "JobSpec", "JobState",
     "ComputeNode",
     "DEFAULT_PARTITION", "Partition",
@@ -32,5 +42,6 @@ __all__ = [
     "JobRow", "PrivateData", "SchedulerView",
     "GPU_MODE_ASSIGNED", "GPU_MODE_STOCK", "GPU_MODE_UNASSIGNED",
     "GpuSeparationConfig", "gpu_dev_path", "make_epilog", "make_prolog",
+    "make_remediator",
     "Scheduler", "SchedulerConfig",
 ]

@@ -81,6 +81,10 @@ class Job:
     end_time: float | None = None
     allocations: list[Allocation] = field(default_factory=list)
     reason: str = ""
+    #: 1-based execution attempt; bumped by the scheduler on each requeue
+    #: (Slurm's restart count), so trace spans and accounting rows from
+    #: different attempts stay distinguishable.
+    attempt: int = 1
     array_id: int | None = None
     array_index: int | None = None
     stdout_lines: list[str] = field(default_factory=list)

@@ -32,6 +32,16 @@ class ComputeNode:
     allocations: dict[int, Allocation] = field(default_factory=dict)
     failed: bool = False
     drained: bool = False  # admin drain: no new placements, jobs run out
+    #: the node is fenced: it crashed (or its epilog failed), so per-job
+    #: cleanup hooks cannot run there.  A fenced node keeps its separation
+    #: residue (orphan processes, dirty GPUs, assigned /dev perms) until
+    #: remediation.
+    fenced: bool = False
+    #: separation-safe remediation must run before this node may take work
+    #: again; set on fencing, cleared by ``Scheduler.remediate``.
+    needs_remediation: bool = False
+    #: completed remediation passes (each reboot remediates exactly once).
+    remediations: int = field(default=0, repr=False)
     _used_cores: int = field(default=0, repr=False)
     _used_mem_mb: int = field(default=0, repr=False)
     _used_gpus: set[int] = field(default_factory=set, repr=False)

@@ -80,3 +80,41 @@ def make_epilog(cfg: GpuSeparationConfig):
                 node.node.vfs.chmod(path, ROOT_CREDS, GPU_MODE_UNASSIGNED)
 
     return epilog
+
+
+def make_remediator(cfg: GpuSeparationConfig):
+    """Node-level recovery of the Section IV-F post-conditions.
+
+    A fenced node never ran its victims' epilogs, so its GPUs may hold
+    residue and its ``/dev`` files may still name the dead tenant's private
+    group.  The remediator (``Scheduler.remediate`` invokes it before the
+    node rejoins dispatch) re-establishes what every epilog would have:
+    dirty *unallocated* GPUs are scrubbed and their device files returned
+    to the unassigned state.  GPUs still held by a live allocation (a
+    drained node running jobs out) are left alone.  Returns a summary dict;
+    the attached ``scrub_expected``/``perms_expected`` attributes tell the
+    separation oracle which post-conditions this configuration promises.
+    """
+
+    def remediate(node: ComputeNode) -> dict[str, int]:
+        scrubbed = devices_reset = 0
+        busy = node.used_gpu_indices
+        for gpu in node.gpus:
+            if gpu.index in busy:
+                continue
+            if cfg.scrub_on_epilog and gpu.dirty:
+                gpu.scrub()
+                scrubbed += 1
+            if cfg.assign_device_perms:
+                path = gpu_dev_path(gpu.index)
+                st = node.node.vfs.stat(path, ROOT_CREDS)
+                if st.gid != 0 or (st.mode & 0o777) != GPU_MODE_UNASSIGNED:
+                    node.node.vfs.chown(path, ROOT_CREDS, gid=0)
+                    node.node.vfs.chmod(path, ROOT_CREDS,
+                                        GPU_MODE_UNASSIGNED)
+                    devices_reset += 1
+        return {"gpus_scrubbed": scrubbed, "devices_reset": devices_reset}
+
+    remediate.scrub_expected = cfg.scrub_on_epilog
+    remediate.perms_expected = cfg.assign_device_perms
+    return remediate

@@ -60,6 +60,9 @@ class SchedulerConfig:
     backfill: bool = True
     #: resubmit NODE_FAIL victims automatically (Slurm's JobRequeue)
     requeue_on_node_fail: bool = False
+    #: extra attempts a requeued job may get before it stays NODE_FAIL for
+    #: good (a job runs at most ``1 + max_requeues`` times)
+    max_requeues: int = 3
     #: use the reference O(pending x nodes) dispatch instead of the
     #: free-capacity index — for differential testing only (E24)
     naive: bool = False
@@ -91,7 +94,20 @@ class Scheduler:
         self.tracer = None
         #: separation oracle (repro.oracle); None = zero-cost hooks
         self.oracle = None
+        #: optional remediation hook run by :meth:`remediate` before a
+        #: fenced node rejoins (GPU scrub + /dev perm reset; see
+        #: :func:`repro.sched.prolog_epilog.make_remediator`).  None means
+        #: only orphan-process reaping happens on remediation.
+        self.remediator = None
+        #: optional SecurityEventLog; node-lifecycle transitions (fencing,
+        #: remediation, hook failures) are emitted here when wired
+        #: (``instrument_cluster`` does).  None = no event cost.
+        self.events = None
         self._job_spans: dict[int, dict[str, object]] = {}
+        #: per-job pending engine events (completion, oom) — cancelled at
+        #: finish so a requeued job's stale timers cannot fire into its
+        #: next attempt
+        self._job_events: dict[int, list[object]] = {}
         self._ids = itertools.count(1)
         self.jobs: dict[int, Job] = {}
         self._queue: list[Job] = []
@@ -411,15 +427,14 @@ class Scheduler:
         for node, tasks in plan:
             node.allocate(job, tasks, whole_node=whole)
             self._node_changed(node, freed=False)
-            if self.prolog is not None:
-                if spans is not None:
-                    s = self.tracer.start_span("sched.prolog",
-                                               parent=spans["root"],
-                                               node=node.name)
-                    self.prolog(job, node)
-                    self.tracer.finish(s)
-                else:
-                    self.prolog(job, node)
+            if self.prolog is not None and not self._run_hook(
+                    "prolog", self.prolog, job, node, spans):
+                # The node can't be prepared (separation setup failed): the
+                # job fails rather than run without its controls, and
+                # _finish unwinds whatever was already allocated/spawned.
+                self._core_charge[job.job_id] = (0, 0)
+                self._finish(job, JobState.FAILED)
+                return
             creds = node.node.userdb.credentials_for(job.spec.user)
             for _ in range(tasks):
                 node.node.procs.spawn(
@@ -441,10 +456,14 @@ class Scheduler:
         self.metrics.counter("jobs_started").inc()
         if job.spec.script is not None:
             self._run_batch_script(job, plan[0][0])
-        self.engine.at(now + job.duration, lambda: self._complete(job))
+            if job.state is not JobState.RUNNING:
+                return  # batch step failed; _finish already ran
+        timers = [self.engine.at(now + job.duration,
+                                 lambda: self._complete(job))]
         if job.spec.oom_bomb:
-            self.engine.at(now + job.duration / 2,
-                           lambda: self._trigger_oom(job))
+            timers.append(self.engine.at(now + job.duration / 2,
+                                         lambda: self._trigger_oom(job)))
+        self._job_events[job.job_id] = timers
 
     def _run_batch_script(self, job: Job, head: ComputeNode) -> None:
         """Execute the job's batch script on the head node, as the user.
@@ -495,6 +514,8 @@ class Scheduler:
         job.state = state
         job.end_time = now
         self._running.pop(job.job_id, None)
+        for timer in self._job_events.pop(job.job_id, ()):
+            self.engine.cancel(timer)
         self._write_stdout_file(job)
         charged, useful = self._core_charge.pop(
             job.job_id,
@@ -506,16 +527,19 @@ class Scheduler:
         spans = self._job_spans.get(job.job_id) if self.tracer else None
         for alloc in job.allocations:
             node = self.nodes[alloc.node]
+            if node.fenced:
+                # A dead node executes nothing: no process kill, no epilog.
+                # Its residue (orphan processes, dirty GPUs, assigned /dev
+                # perms) stays put until :meth:`remediate`; the allocation
+                # is still released so accounting and requeue see the job
+                # off the node.
+                self.metrics.counter("epilog_skipped_fenced").inc()
+                node.release(job.job_id)
+                self._node_changed(node, freed=False)
+                continue
             node.node.procs.kill_job(job.job_id)
             if self.epilog is not None:
-                if spans is not None:
-                    s = self.tracer.start_span("sched.epilog",
-                                               parent=spans["root"],
-                                               node=node.name)
-                    self.epilog(job, node)
-                    self.tracer.finish(s)
-                else:
-                    self.epilog(job, node)
+                self._run_hook("epilog", self.epilog, job, node, spans)
             node.release(job.job_id)
             self._node_changed(node, freed=True)
         if self.tracer is not None:
@@ -523,6 +547,55 @@ class Scheduler:
         self.accounting.record(job)
         self.metrics.counter(f"jobs_{state.name.lower()}").inc()
         self._try_dispatch()
+
+    def _run_hook(self, which: str, hook, job: Job, node: ComputeNode,
+                  spans) -> bool:
+        """Run a prolog/epilog hook, tracing when armed; True on success.
+
+        A hook exception is a *node* problem (separation setup or cleanup
+        did not happen), so it drains the node for remediation via
+        :meth:`_hook_failed` instead of propagating into — and wedging —
+        the dispatch loop.  Oracle verdicts are exempt: a
+        ``SeparationViolation`` raised by a fail-fast oracle wrapper must
+        stay fatal to the run that caused it.
+        """
+        try:
+            if spans is not None:
+                s = self.tracer.start_span(f"sched.{which}",
+                                           parent=spans["root"],
+                                           node=node.name)
+                try:
+                    hook(job, node)
+                finally:
+                    self.tracer.finish(s)
+            else:
+                hook(job, node)
+            return True
+        except Exception as exc:
+            from repro.oracle.oracle import SeparationViolation
+            if isinstance(exc, SeparationViolation):
+                raise
+            self._hook_failed(which, job, node, exc)
+            return False
+
+    def _hook_failed(self, which: str, job: Job, node: ComputeNode,
+                     exc: Exception) -> None:
+        """A prolog/epilog raised: suspect separation residue on the node.
+
+        The node is drained (nothing new lands there) and flagged for
+        remediation — :meth:`resume` will reap orphans and re-run the GPU
+        scrub/perm reset before the node takes work again.
+        """
+        node.drained = True
+        node.needs_remediation = True
+        self._node_changed(node, freed=False)
+        self.metrics.counter("hook_failures_total", hook=which).inc()
+        if self.events is not None:
+            from repro.monitor.events import EventKind
+            self.events.emit(
+                self.engine.now, EventKind.NODE_LIFECYCLE, -1, node.name,
+                f"{which} failed for job {job.job_id}: {exc!r}; "
+                f"node drained pending remediation")
 
     def _trigger_oom(self, job: Job) -> None:
         """The misbehaving job exhausts memory on each of its nodes; the
@@ -550,29 +623,102 @@ class Scheduler:
         self._node_changed(node, freed=False)
 
     def resume(self, node_name: str) -> None:
-        """scontrol update state=RESUME."""
+        """scontrol update state=RESUME; a fenced node remediates first.
+
+        Separation-safe rejoin: a node flagged ``needs_remediation`` (it
+        was fenced, or a cleanup hook failed there) goes through
+        :meth:`remediate` *before* it becomes schedulable, so the next
+        tenant can never see the previous tenant's residue.
+        """
         node = self.nodes[node_name]
+        if node.needs_remediation:
+            self.remediate(node_name)
         node.drained = False
         node.failed = False
         self._node_changed(node, freed=True)
         self._try_dispatch()
 
+    def remediate(self, node_name: str) -> dict[str, int]:
+        """Separation-safe remediation of a fenced or suspect node.
+
+        Orphan processes of no-longer-allocated jobs are reaped (which
+        resyncs the per-uid/per-job procfs indexes), the optional
+        ``remediator`` hook scrubs GPUs and resets ``/dev`` permissions,
+        and the dispatch index entry is refreshed.  Idempotent: a node not
+        flagged ``needs_remediation`` is left untouched and an empty
+        summary is returned — remediation runs exactly once per reboot.
+        """
+        node = self.nodes[node_name]
+        if not node.needs_remediation:
+            return {}
+        summary = {"processes_reaped": len(
+            node.node.procs.reap_orphans(set(node.allocations)))}
+        if self.remediator is not None:
+            summary.update(self.remediator(node) or {})
+        node.fenced = False
+        node.needs_remediation = False
+        node.remediations += 1
+        self._node_changed(node, freed=False)
+        self.metrics.counter("node_remediations_total").inc()
+        if self.events is not None:
+            from repro.monitor.events import EventKind
+            self.events.emit(
+                self.engine.now, EventKind.NODE_LIFECYCLE, -1, node_name,
+                "remediated: " + ", ".join(
+                    f"{k}={v}" for k, v in sorted(summary.items())))
+        if self.oracle is not None:
+            self.oracle.check_node_rejoin(self, node)
+        return summary
+
     def fail_node(self, node_name: str) -> list[Job]:
-        """Hardware failure: every running job on the node dies NODE_FAIL;
-        with ``requeue_on_node_fail`` the victims go back to the queue.
-        Returns the affected jobs."""
+        """Hardware failure: the node is *fenced* — a dead node cannot run
+        its epilog or kill its processes, so every running job there dies
+        NODE_FAIL leaving its residue in place (cleaned by
+        :meth:`remediate` before the node rejoins).  With
+        ``requeue_on_node_fail`` victims are resubmitted, each up to
+        ``max_requeues`` extra attempts.  Returns the affected jobs."""
         node = self.nodes[node_name]
         node.failed = True
+        node.fenced = True
+        node.needs_remediation = True
         self._node_changed(node, freed=False)
+        self.metrics.counter("node_fencings_total").inc()
         victims = [self.jobs[jid] for jid in list(node.allocations)]
+        if self.events is not None:
+            from repro.monitor.events import EventKind
+            self.events.emit(
+                self.engine.now, EventKind.NODE_LIFECYCLE, -1, node_name,
+                f"fenced: {len(victims)} running job(s) lost")
         for job in victims:
             self._finish(job, JobState.NODE_FAIL)
-            if self.config.requeue_on_node_fail:
-                self._requeue(job)
+            self._maybe_requeue(job)
         return victims
 
+    def _maybe_requeue(self, job: Job) -> bool:
+        """Requeue a NODE_FAIL victim if configured and within budget.
+
+        A job whose attempt count already exceeds ``max_requeues`` stays
+        NODE_FAIL permanently, with the exhaustion recorded in its reason
+        and the ``jobs_requeue_exhausted`` counter.
+        """
+        if not self.config.requeue_on_node_fail:
+            return False
+        if job.attempt > self.config.max_requeues:
+            job.reason = (f"requeue limit exhausted after "
+                          f"{job.attempt} attempts")
+            self.metrics.counter("jobs_requeue_exhausted").inc()
+            if self.events is not None:
+                from repro.monitor.events import EventKind
+                self.events.emit(
+                    self.engine.now, EventKind.NODE_LIFECYCLE, -1,
+                    f"job{job.job_id}", job.reason)
+            return False
+        self._requeue(job)
+        return True
+
     def _requeue(self, job: Job) -> None:
-        """Return a NODE_FAIL job to PENDING (same job id, fresh attempt)."""
+        """Return a NODE_FAIL job to PENDING (same job id, next attempt)."""
+        job.attempt += 1
         job.state = JobState.PENDING
         job.start_time = None
         job.end_time = None
@@ -583,8 +729,8 @@ class Scheduler:
         self._fresh_jobs.add(job.job_id)
         if self.tracer is not None:
             # the failed attempt's trace closed with NODE_FAIL; the retry
-            # gets a fresh trace so both attempts stay inspectable
-            self._open_job_trace(job, attempt=2)
+            # gets a fresh trace so every attempt stays inspectable
+            self._open_job_trace(job, attempt=job.attempt)
         self._note_queue_depth()
         self._try_dispatch()
 

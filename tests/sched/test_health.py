@@ -1,0 +1,276 @@
+"""Tests: node health state machine, fencing, remediation, flap damping.
+
+The separation stakes: a crashed node never ran its victims' epilogs, so
+its residue (orphan processes, dirty GPUs, assigned /dev perms, peers'
+conntrack state) must stay quarantined behind the fence until the
+remediation-gated rejoin path — and a flapping node must never take work
+while unremediated (oracle invariant I7).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Cluster, LLSC
+from repro.faults import FaultInjector, FaultKind
+from repro.monitor import EventKind, instrument_cluster
+from repro.oracle import attach_oracle
+from repro.sched import JobState, NodeHealth
+from repro.sched.health import HealthMonitor, attach_health
+
+from tests.sched.conftest import build_sched, spec
+
+
+def monitor_for(sched, engine, *, seed=7, **kw):
+    """A raw HealthMonitor + injector over a build_sched scheduler."""
+    faults = FaultInjector(sched.metrics, seed=seed)
+    kw.setdefault("interval", 1.0)
+    kw.setdefault("down_after", 3)
+    mon = HealthMonitor(sched, engine, faults, sched.metrics, **kw).start()
+    return mon, faults
+
+
+class TestStateMachine:
+    def test_up_suspect_down_fences_and_requeues(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.config.requeue_on_node_fail = True
+        mon, faults = monitor_for(sched, engine)
+        job = sched.submit(spec(userdb, ntasks=2), duration=100.0)
+        engine.run(until=0.5)
+        assert job.nodes == ["c1"]
+        faults.inject(FaultKind.NODE_CRASH, "c1")
+        engine.run(until=1.5)  # 1 miss
+        assert mon.state_of("c1") is NodeHealth.SUSPECT
+        engine.run(until=3.5)  # 3 misses -> DOWN, fenced
+        assert mon.state_of("c1") is NodeHealth.DOWN
+        assert sched.nodes["c1"].fenced
+        residue = mon.nodes["c1"].residue
+        assert residue.jobs == (job.job_id,)
+        assert len(residue.orphan_pids) == 2  # never killed: node is dead
+        # the victim restarted on the survivor, next attempt
+        assert job.state is JobState.RUNNING
+        assert job.nodes == ["c2"]
+        assert job.attempt == 2
+
+    def test_suspect_recovers_without_fencing(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        mon, faults = monitor_for(sched, engine)
+        fault = faults.inject(FaultKind.NODE_CRASH, "c1")
+        engine.run(until=1.5)
+        assert mon.state_of("c1") is NodeHealth.SUSPECT
+        faults.clear(fault)
+        engine.run(until=2.5)
+        assert mon.state_of("c1") is NodeHealth.UP
+        assert not sched.nodes["c1"].fenced
+        assert sched.metrics.counter("node_fencings_total").value == 0
+
+    def test_reboot_rejoins_after_remediation(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.config.requeue_on_node_fail = True
+        mon, faults = monitor_for(sched, engine)
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run(until=0.5)
+        fault = faults.inject(FaultKind.NODE_CRASH, "c1")
+        engine.run(until=3.5)
+        assert mon.state_of("c1") is NodeHealth.DOWN
+        assert job.state is JobState.PENDING  # only node is fenced
+        faults.clear(fault)
+        engine.run(until=4.5)  # heartbeat returns -> remediate -> rejoin
+        assert mon.state_of("c1") is NodeHealth.UP
+        node = sched.nodes["c1"]
+        assert node.remediations == 1
+        assert not node.fenced and not node.needs_remediation
+        live = set(node.allocations)  # the requeued job restarted here
+        assert not [p for p in node.node.procs.processes()
+                    if p.job_id is not None and p.job_id not in live]
+        engine.run(until=15.0)
+        assert job.state is JobState.COMPLETED
+        assert sched.metrics.counter("node_rejoins_total").value == 1
+
+    def test_idle_healthy_cluster_ticks_stop(self, userdb):
+        """The tick loop must go dormant with nothing to watch, or a bare
+        engine.run() would never drain the heap."""
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        monitor_for(sched, engine)
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run()  # terminates: the monitor stopped rescheduling itself
+        assert job.state is JobState.COMPLETED
+
+
+class TestFlapDamping:
+    def _bounce(self, mon, faults, engine, *, cycles):
+        """Crash/reboot *cycles* times; returns after the last reboot."""
+        for _ in range(cycles):
+            fault = faults.inject(FaultKind.NODE_CRASH, "c1")
+            mon.wake()
+            while mon.state_of("c1") is not NodeHealth.DOWN:
+                engine.run(until=engine.now + 1.0)
+            faults.clear(fault)
+            mon.wake()
+            engine.run(until=engine.now + 2.0)
+
+    def test_flapping_node_is_quarantined_not_trusted(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        mon, faults = monitor_for(sched, engine, down_after=2,
+                                  flap_threshold=2, flap_hold=10.0)
+        self._bounce(mon, faults, engine, cycles=2)  # two clean rejoins
+        assert mon.state_of("c1") is NodeHealth.UP
+        assert sched.nodes["c1"].remediations == 2
+        # third bounce crosses the threshold: the return is quarantined
+        self._bounce(mon, faults, engine, cycles=1)
+        assert mon.state_of("c1") is NodeHealth.DOWN
+        assert sched.nodes["c1"].failed  # not schedulable while held
+        assert sched.metrics.counter(
+            "node_flap_quarantines_total").value == 1
+        # the hold served in full, the node rejoins cleanly
+        engine.run(until=engine.now + 12.0)
+        assert mon.state_of("c1") is NodeHealth.UP
+        assert sched.nodes["c1"].remediations == 3
+
+    def test_quarantined_node_never_double_allocates(self, userdb):
+        """While c1 bounces, the requeued job must land exactly one live
+        allocation — never on the fenced/unremediated flapper."""
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.config.requeue_on_node_fail = True
+        mon, faults = monitor_for(sched, engine, down_after=2,
+                                  flap_threshold=1, flap_hold=30.0)
+        job = sched.submit(spec(userdb, ntasks=2), duration=300.0)
+        engine.run(until=0.5)
+        assert job.nodes == ["c1"]
+        self._bounce(mon, faults, engine, cycles=2)
+        assert job.state is JobState.RUNNING
+        assert job.nodes == ["c2"]
+        assert len(job.allocations) == 1
+        node = sched.nodes["c1"]
+        assert job.job_id not in node.allocations
+        assert not (node.fenced and job.job_id in node.allocations)
+
+
+class TestRequeueBudget:
+    def test_requeue_exhaustion_ends_node_fail(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        sched.config.requeue_on_node_fail = True
+        sched.config.max_requeues = 2
+        job = sched.submit(spec(userdb), duration=100.0)
+        engine.run(until=1.0)
+        for _ in range(3):
+            sched.fail_node("c1")
+            sched.resume("c1")
+            engine.run(until=engine.now + 1.0)
+        assert job.state is JobState.NODE_FAIL
+        assert job.attempt == 3  # 1 + max_requeues runs, no more
+        assert "exhausted" in job.reason
+        assert sched.metrics.counter("jobs_requeue_exhausted").value == 1
+        assert sched.pending() == []
+
+    def test_requeued_attempt_ignores_stale_timers(self, userdb):
+        """The first attempt's completion timer must not fire into the
+        second attempt and complete it early."""
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+        sched.config.requeue_on_node_fail = True
+        job = sched.submit(spec(userdb), duration=10.0)
+        engine.run(until=1.0)  # attempt 1: completion armed for t=10
+        sched.fail_node(job.nodes[0])  # attempt 2 starts at t=1
+        engine.run(until=10.5)
+        assert job.state is JobState.RUNNING  # stale t=10 timer: cancelled
+        engine.run()
+        assert job.state is JobState.COMPLETED
+        assert job.end_time == 11.0
+
+
+class TestHookHardening:
+    def test_epilog_failure_drains_node_for_remediation(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+
+        def bad_epilog(job, node):
+            raise RuntimeError("scrub tool missing")
+
+        sched.epilog = bad_epilog
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run(until=6.0)
+        assert job.state is JobState.COMPLETED  # the job itself is fine
+        node = sched.nodes[job.allocations[0].node]
+        assert node.drained and node.needs_remediation
+        assert not node.fenced  # drained, not dead: other epilogs may run
+        assert sched.metrics.counter("hook_failures_total",
+                                     hook="epilog").value == 1
+        # nothing new lands there until remediation
+        job2 = sched.submit(spec(userdb, ntasks=8), duration=1.0)
+        engine.run(until=8.0)
+        assert job2.nodes == ["c2"]
+        sched.epilog = None
+        sched.resume(node.name)
+        assert node.remediations == 1 and not node.drained
+
+    def test_prolog_failure_fails_job_not_scheduler(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=2, cores=8)
+
+        def bad_prolog(job, node):
+            raise RuntimeError("device cgroup refused")
+
+        sched.prolog = bad_prolog
+        job = sched.submit(spec(userdb), duration=5.0)
+        engine.run(until=1.0)
+        assert job.state is JobState.FAILED  # no separation setup, no run
+        sched.prolog = None
+        job2 = sched.submit(spec(userdb), duration=1.0)
+        engine.run()
+        assert job2.state is JobState.COMPLETED  # dispatch loop survived
+
+
+class TestClusterChurn:
+    @pytest.fixture
+    def cluster(self):
+        cluster = Cluster.build(LLSC, n_compute=3, cores=8,
+                                gpus_per_node=2)
+        attach_oracle(cluster, fail_fast=True)
+        instrument_cluster(cluster)
+        attach_health(cluster, interval=1.0, down_after=2).start()
+        cluster.scheduler.config.requeue_on_node_fail = True
+        return cluster
+
+    def test_crash_reboot_cycle_is_separation_safe(self, cluster):
+        chaos = cluster.chaos()
+        job = cluster.submit("alice", duration=60.0, ntasks=2,
+                             gpus_per_task=1)
+        cluster.run(until=0.5)
+        target = job.nodes[0]
+        chaos.crash_node(target)
+        cluster.run(until=4.0)
+        node = cluster.scheduler.nodes[target]
+        assert node.fenced
+        assert job.state is JobState.RUNNING and target not in job.nodes
+        # the dead tenant's GPU residue is behind the fence, untouched
+        assert cluster.health.nodes[target].residue is not None
+        chaos.reboot_node(target)
+        cluster.run(until=8.0)
+        assert cluster.health.state_of(target) is NodeHealth.UP
+        assert node.remediations == 1
+        # remediation restored the IV-F post-conditions (oracle I7 checked
+        # them on rejoin; fail_fast would have raised here otherwise)
+        assert cluster.oracle.checks_for("I7") > 0
+        assert not cluster.oracle.violations
+        kinds = {e.kind for e in cluster.security_log.events}
+        assert EventKind.NODE_LIFECYCLE in kinds
+
+    def test_dead_host_ttl_purges_peer_state(self, cluster):
+        # alice -> alice flow from login1 into c1 seeds c1's conntrack
+        # and its UBF decision cache with login1-derived state
+        c1, login = cluster.node("c1"), cluster.node("login1")
+        creds = cluster.userdb.credentials_for(cluster.user("alice"))
+        server = c1.procs.spawn(creds, ["server"])
+        c1.net.listen(c1.net.bind(server, 5000))
+        client = login.procs.spawn(creds, ["client"])
+        assert login.net.connect(client, "c1", 5000).open
+        ct = cluster.fabric.host("c1").firewall.conntrack
+        assert any("login1" in (f.src_host, f.dst_host)
+                   for f in ct.flows())
+        cluster.chaos().partition("login1")
+        cluster.run(until=cluster.engine.now + 65.0)  # past the 60s TTL
+        assert not any("login1" in (f.src_host, f.dst_host)
+                       for f in ct.flows())
+        assert cluster.metrics.counter("ubf_cache_purged_total",
+                                       reason="dead-host").value >= 1
+        assert cluster.metrics.counter("dead_host_purges_total").value == 1
+        assert cluster.metrics.counter("conntrack_evictions_total",
+                                       reason="dead-host").value >= 1

@@ -57,14 +57,34 @@ class TestNodeFailure:
         engine.run()
         assert job.nodes == ["c2"]
 
-    def test_processes_reaped_on_failure(self, userdb):
+    def test_fenced_node_keeps_residue_until_remediation(self, userdb):
+        """A crashed node cannot run its epilog or kill its processes —
+        the orphans stay put until the separation-safe rejoin path."""
         engine, sched = build_sched(userdb, n_nodes=1, cores=8)
         job = sched.submit(spec(userdb, ntasks=3), duration=100.0)
         engine.run(until=1.0)
         sched.fail_node("c1")
-        leftovers = [p for p in sched.nodes["c1"].node.procs.processes()
-                     if p.job_id == job.job_id]
-        assert not leftovers
+        node = sched.nodes["c1"]
+        assert node.fenced and node.needs_remediation
+        orphans = [p for p in node.node.procs.processes()
+                   if p.job_id == job.job_id]
+        assert len(orphans) == 3
+        assert sched.metrics.report()["epilog_skipped_fenced"] == 1
+        sched.resume("c1")
+        assert not [p for p in node.node.procs.processes()
+                    if p.job_id == job.job_id]
+        assert not node.fenced and not node.needs_remediation
+
+    def test_remediation_runs_exactly_once_per_reboot(self, userdb):
+        engine, sched = build_sched(userdb, n_nodes=1, cores=8)
+        job = sched.submit(spec(userdb, ntasks=2), duration=100.0)
+        engine.run(until=1.0)
+        sched.fail_node("c1")
+        summary = sched.remediate("c1")
+        assert summary["processes_reaped"] == 2
+        assert sched.remediate("c1") == {}  # idempotent until next fence
+        sched.resume("c1")
+        assert sched.nodes["c1"].remediations == 1
 
 
 class TestRequeue:
