@@ -109,7 +109,8 @@ def _workload(n_nodes: int, n_events: int):
 
 
 def run_sched_trial(n_nodes: int, n_events: int, *, naive: bool,
-                    collect_placements: bool = False, oracle=None):
+                    collect_placements: bool = False, oracle=None,
+                    attribution=None):
     userdb = UserDB()
     users = [userdb.add_user(f"user{i}") for i in range(8)]
     engine = Engine()
@@ -126,6 +127,10 @@ def run_sched_trial(n_nodes: int, n_events: int, *, naive: bool,
                       SchedulerConfig(policy=NodeSharing.SHARED,
                                       naive=naive))
     sched.oracle = oracle
+    if attribution is not None:
+        # E26 measures the forensic plane's cost on this exact trial:
+        # `attribution` is a factory(engine) -> AttributionRegistry
+        sched.attribution = attribution(engine)
     for u, ntasks, cpt, duration, at in _workload(n_nodes, n_events):
         sched.submit(JobSpec(user=users[u], name="j", ntasks=ntasks,
                              cores_per_task=cpt, mem_mb_per_task=500),
@@ -146,13 +151,18 @@ def run_sched_trial(n_nodes: int, n_events: int, *, naive: bool,
         pass
     dispatch_s.clear()
     t0 = time.perf_counter()
+    c0 = time.process_time()
     engine.run()
+    cpu = time.process_time() - c0
     elapsed = time.perf_counter() - t0
     measured = max(1, engine.events_processed - warm)
     out = {
         "events": engine.events_processed,
         "elapsed_s": round(elapsed, 3),
         "events_per_sec": round(measured / elapsed, 1),
+        # CPU-time rate: immune to host steal time under virtualisation,
+        # so A/B comparisons (E26) stay meaningful on noisy hosts
+        "events_per_sec_cpu": round(measured / max(cpu, 1e-9), 1),
         "p99_dispatch_ms": round(
             float(np.percentile(dispatch_s, 99)) * 1e3, 4),
         "nodes_examined": sched.metrics.counter("sched_dispatch_scan").value,

@@ -105,6 +105,10 @@ class Cluster:
     #: node health monitor; set by repro.sched.health.attach_health.
     #: None = no heartbeat traffic, no fencing (admin fail_node still works).
     health: "object | None" = None
+    #: forensic audit plane; set by repro.obs.attach_forensics.  When
+    #: present, new sessions register an attribution context so their
+    #: denials resolve to an auditable login.  Strictly additive.
+    forensics: "object | None" = None
 
     # ------------------------------------------------------------------ build
 
@@ -316,6 +320,9 @@ class Cluster:
     def _open_session(self, user: User, node: LinuxNode) -> Session:
         creds = node.open_session(user)
         proc = node.procs.spawn(creds, ["-bash"])
+        forensics = getattr(self, "forensics", None)
+        if forensics is not None:
+            forensics.registry.session_opened(user, node.name)
         return Session(cluster=self, user=user, node=node,
                        sys=self._facade(node, proc))
 

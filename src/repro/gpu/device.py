@@ -89,3 +89,17 @@ class GPUDevice:
         self.memory[:] = 0
         self.registers[:] = 0
         self.scrub_count += 1
+
+    def forensic_summary(self) -> dict:
+        """JSON-ready residue facts for a flight-recorder dump.
+
+        Captures ownership and dirtiness *without* the memory contents —
+        a dump must never itself leak the previous tenant's data.
+        """
+        return {
+            "gpu": self.index,
+            "dirty": self.dirty,
+            "last_user_uid": self.last_user_uid,
+            "scrub_count": self.scrub_count,
+            "resident_bytes": int(np.count_nonzero(self.memory)),
+        }

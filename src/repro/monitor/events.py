@@ -38,31 +38,58 @@ class EventKind(enum.Enum):
     DEGRADED = "degraded"  # UBF verdict under identity-infrastructure fault
     ORACLE = "oracle-violation"  # separation invariant violated (repro.oracle)
     NODE_LIFECYCLE = "node-lifecycle"  # fencing/remediation/rejoin transitions
+    ALERT = "alert"  # declarative alert rule fired (repro.obs.alerts)
 
 
 @dataclass(frozen=True)
 class SecurityEvent:
-    """One auditable enforcement decision: who, what, and why."""
+    """One auditable enforcement decision: who, what, and why.
+
+    ``job_id``/``node`` are the causal-attribution stamps the forensic
+    audit plane (:mod:`repro.obs.audit`) uses to tie a decision back to
+    the submitting job; emitters that know them fill them in, everything
+    older keeps the defaults (the fields are additive).
+    """
 
     time: float
     kind: EventKind
     subject_uid: int          # who attempted
     target: str               # what was touched (path, host:port, node, pid)
     detail: str = ""
+    #: job the acting process belonged to, when the emitter knows it
+    job_id: int | None = None
+    #: node the action originated on (attribution resolves uid+node → job)
+    node: str | None = None
 
 
 @dataclass
 class SecurityEventLog:
-    """Append-only in-memory event store with simple query methods."""
+    """Append-only in-memory event store with simple query methods.
+
+    ``subscribe`` registers a sink callable invoked with every event as it
+    is recorded — how the audit trail and flight recorder ride the stream
+    without the enforcement points knowing they exist.
+    """
 
     events: list[SecurityEvent] = field(default_factory=list)
+    #: sink callables fed each event at record time (order of subscription)
+    sinks: list = field(default_factory=list)
 
     def record(self, event: SecurityEvent) -> None:
         self.events.append(event)
+        for sink in self.sinks:
+            sink(event)
 
     def emit(self, time: float, kind: EventKind, subject_uid: int,
-             target: str, detail: str = "") -> None:
-        self.record(SecurityEvent(time, kind, subject_uid, target, detail))
+             target: str, detail: str = "", *, job_id: int | None = None,
+             node: str | None = None) -> None:
+        self.record(SecurityEvent(time, kind, subject_uid, target, detail,
+                                  job_id=job_id, node=node))
+
+    def subscribe(self, sink) -> None:
+        """Register *sink* (callable taking one event); idempotent."""
+        if sink not in self.sinks:
+            self.sinks.append(sink)
 
     # -- queries -------------------------------------------------------------
 
@@ -126,10 +153,11 @@ def detect_probe_patterns(log: SecurityEventLog, *,
     for e in events:
         # ADMIN is audit, not denial; DEGRADED blames infrastructure, not
         # the principal; ORACLE blames the *enforcement code*;
-        # NODE_LIFECYCLE blames hardware — none should trip the scanner
-        # heuristic.
+        # NODE_LIFECYCLE blames hardware; ALERT is a derived signal over
+        # events already counted — none should trip the scanner heuristic.
         if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
-                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE):
+                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE,
+                          EventKind.ALERT):
             per_subject[e.subject_uid].append(e)
     alerts = []
     for uid, evs in per_subject.items():

@@ -75,13 +75,15 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
                          entry.initiator_uid if entry.initiator_uid
                          is not None else -1,
                          f"{pkt.flow.dst_host}:{pkt.flow.dst_port}",
-                         f"{verdict.value}: {entry.reason}")
+                         f"{verdict.value}: {entry.reason}",
+                         node=pkt.flow.src_host)
             elif verdict is Verdict.DROP and entry is not None:
                 log.emit(cluster.engine.now, EventKind.NET_DENY,
                          entry.initiator_uid if entry.initiator_uid
                          is not None else -1,
                          f"{pkt.flow.dst_host}:{pkt.flow.dst_port}",
-                         entry.reason)
+                         entry.reason,
+                         node=pkt.flow.src_host)
             return verdict
 
         daemon.stack.firewall.bind_nfqueue(wrapped)
@@ -97,7 +99,8 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
                         return _orig(user, node_name)
                     except AccessDenied:
                         log.emit(cluster.engine.now, EventKind.PAM_DENY,
-                                 user.uid, node_name, "pam_slurm refusal")
+                                 user.uid, node_name, "pam_slurm refusal",
+                                 node=node_name)
                         raise
 
                 # dataclass instances: bind per-instance override
@@ -110,7 +113,7 @@ def instrument_cluster(cluster: Cluster) -> SecurityEventLog:
             def gpu_deny(creds, path, _node=cn.node.name):
                 log.emit(cluster.engine.now, EventKind.GPU_DENY,
                          creds.uid, f"{_node}:{path}",
-                         "gpu device open refused")
+                         "gpu device open refused", node=_node)
             gpu.deny_hook = gpu_deny
 
     # portal denials: the gateway emits PORTAL_DENY through this log
@@ -132,7 +135,8 @@ class AuditedSyscalls:
 
     def _emit(self, kind: EventKind, target: str, err: KernelError) -> None:
         self.log.emit(self.session.cluster.engine.now, kind,
-                      self.session.creds.uid, target, err.errname)
+                      self.session.creds.uid, target, err.errname,
+                      node=self.session.node.name)
 
     def __getattr__(self, name):
         inner = getattr(self.session.sys, name)
@@ -166,7 +170,8 @@ def audited_seepid(cluster: Cluster, session: Session) -> Session:
     result = _tools.seepid(cluster, session)
     getattr(cluster, "security_log").emit(
         cluster.engine.now, EventKind.ADMIN, session.creds.uid,
-        session.node.name, "seepid exemption added")
+        session.node.name, "seepid exemption added",
+        node=session.node.name)
     return result
 
 
@@ -177,5 +182,6 @@ def audited_smask_relax(cluster: Cluster, session: Session,
     result = _tools.smask_relax(cluster, session, **kw)
     getattr(cluster, "security_log").emit(
         cluster.engine.now, EventKind.ADMIN, session.creds.uid,
-        session.node.name, "smask_relax shell opened")
+        session.node.name, "smask_relax shell opened",
+        node=session.node.name)
     return result

@@ -150,6 +150,10 @@ class UBFDaemon:
     tracer: object | None = None
     #: separation oracle (repro.oracle); None = zero-cost hooks
     oracle: object | None = field(default=None, repr=False)
+    #: forensic audit trail (repro.obs.audit); when set, clean ACCEPT
+    #: verdicts are recorded with causal attribution (denies reach the
+    #: trail through the security-event stream).  None = zero cost.
+    audit: object | None = field(default=None, repr=False)
     #: original sequential/unsharded reference path for differential testing.
     naive: bool = False
     cache_shards: int = 8
@@ -440,6 +444,11 @@ class UBFDaemon:
                                     reason=reason).inc()
         if verdict is Verdict.DROP:
             self.fabric.metrics.counter("ubf_denials").inc()
+        elif self.audit is not None and iu is not None:
+            self.audit.ubf_verdict(
+                uid=iu, node=pkt.flow.src_host,
+                target=f"{pkt.flow.dst_host}:{pkt.flow.dst_port}",
+                verdict=verdict.value, reason=reason)
         return verdict
 
     def purge_host(self, host: str) -> int:

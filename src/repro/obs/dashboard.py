@@ -67,13 +67,15 @@ def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
     ``distinct_targets``, ``first``/``last`` event times.  ADMIN escalation
     records are excluded (they are audit, not denial), as are DEGRADED
     verdicts (those blame failing infrastructure, not the principal),
-    ORACLE violations (those blame the enforcement code itself), and
-    NODE_LIFECYCLE transitions (those blame hardware).
+    ORACLE violations (those blame the enforcement code itself),
+    NODE_LIFECYCLE transitions (those blame hardware), and ALERT records
+    (derived signals over denials already counted).
     """
     per_uid: dict[int, list] = defaultdict(list)
     for e in log.events:
         if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
-                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE):
+                          EventKind.ORACLE, EventKind.NODE_LIFECYCLE,
+                          EventKind.ALERT):
             per_uid[e.subject_uid].append(e)
     rows = []
     for uid, evs in per_uid.items():
@@ -212,6 +214,58 @@ def ops_dashboard(cluster, *, window: float | None = None,
                 ["time", "invariant", "subject", "detail"],
                 [[f"{v.time:g}", v.invariant, v.subject, v.detail]
                  for v in oracle.violations]))
+            lines.append("")
+
+    # -- alerts ------------------------------------------------------------
+    forensics = getattr(cluster, "forensics", None)
+    lines += ["## Alerts", ""]
+    if forensics is None:
+        lines.append("Forensic plane not attached (run `attach_forensics`).")
+        lines.append("")
+    else:
+        engine = forensics.alerts
+        lines.append(
+            f"{len(engine.rules)} rules armed · "
+            f"{len(engine.alerts)} alert(s) fired")
+        lines.append("")
+        if engine.alerts:
+            lines.append(_md_table(
+                ["time", "rule", "severity", "subject", "detail"],
+                [[f"{a.time:g}", a.rule, a.severity,
+                  _username(cluster.userdb, a.subject)
+                  if a.subject >= 0 else "-", a.detail]
+                 for a in engine.alerts]))
+            lines.append("")
+
+        # -- forensic audit plane ------------------------------------------
+        lines += ["## Forensic audit plane", ""]
+        audit = forensics.audit
+        by_mech: dict[str, int] = defaultdict(int)
+        unresolved = 0
+        for r in audit.records:
+            by_mech[r.mechanism] += 1
+            if r.trace_id is None and r.uid >= 0:
+                unresolved += 1
+        lines.append(
+            f"{len(audit.records)} audit records · "
+            f"{len(forensics.registry.jobs)} job contexts · "
+            f"{len(forensics.registry.sessions)} session contexts · "
+            f"{unresolved} unattributed principal records")
+        lines.append("")
+        if by_mech:
+            lines.append(_md_table(
+                ["mechanism", "records"],
+                [[m, n] for m, n in sorted(by_mech.items())]))
+            lines.append("")
+        flight = forensics.flight
+        if flight.dumps:
+            lines.append(_md_table(
+                ["dump", "time", "trigger", "node", "detail"],
+                [[d.dump_id, f"{d.time:g}", d.trigger, d.node or "-",
+                  d.detail] for d in flight.dumps]))
+            lines.append("")
+        else:
+            lines.append("No flight-recorder dumps captured.")
             lines.append("")
 
     # -- degradation posture -----------------------------------------------

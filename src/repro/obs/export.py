@@ -30,8 +30,12 @@ _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
 
 
 def event_to_dict(event: SecurityEvent) -> dict[str, object]:
-    """Serialise a :class:`SecurityEvent` to a JSON-ready dict."""
-    return {
+    """Serialise a :class:`SecurityEvent` to a JSON-ready dict.
+
+    The attribution stamps (``job_id``/``node``) appear only when set, so
+    pre-forensics exports stay byte-identical.
+    """
+    d: dict[str, object] = {
         "type": "event",
         "time": event.time,
         "kind": event.kind.value,
@@ -39,10 +43,19 @@ def event_to_dict(event: SecurityEvent) -> dict[str, object]:
         "target": event.target,
         "detail": event.detail,
     }
+    if event.job_id is not None:
+        d["job_id"] = event.job_id
+    if event.node is not None:
+        d["node"] = event.node
+    return d
 
 
 def span_to_dict(span: Span) -> dict[str, object]:
-    """Serialise a finished :class:`Span` to a JSON-ready dict."""
+    """Serialise a :class:`Span` to a JSON-ready dict.
+
+    Open (in-flight) spans carry ``"open": true`` so a reader can tell
+    them apart from zero-length finished spans.
+    """
     return {"type": "span", **span.to_dict()}
 
 
@@ -62,32 +75,38 @@ def span_lines(tracer: Tracer, *, finished_only: bool = True) -> Iterator[str]:
 
 def export_jsonl(sink: str | IO[str], *,
                  events: SecurityEventLog | None = None,
-                 tracer: Tracer | None = None) -> int:
+                 tracer: Tracer | None = None,
+                 include_open: bool = False) -> int:
     """Write events and/or spans to *sink* (path or text file object).
 
     Records are merged in time order (events by ``time``, spans by
-    ``start``) so the file reads as one chronological stream.  Returns the
-    number of lines written.
+    ``start``) with a deterministic tie-break — ``(time, type, sequence)``,
+    events before spans, each in recording order — so equal-timestamp
+    records render byte-identically across runs (golden files diff clean).
+    Serialisation goes through :func:`event_lines` / :func:`span_lines`;
+    this function only merges.  Open spans are skipped unless
+    ``include_open`` is set (they then carry ``"open": true``).  Returns
+    the number of lines written.
     """
-    records: list[tuple[float, str]] = []
+    records: list[tuple[float, int, int, str]] = []
     if events is not None:
-        for e, line in zip(events.events, event_lines(events)):
-            records.append((e.time, line))
+        for i, (e, line) in enumerate(zip(events.events,
+                                          event_lines(events))):
+            records.append((e.time, 0, i, line))
     if tracer is not None:
-        for s in tracer.spans:
-            if s.end is None:
-                continue
-            records.append(
-                (s.start, json.dumps(span_to_dict(s),
-                                     separators=(",", ":"))))
-    records.sort(key=lambda r: r[0])
+        spans = [s for s in tracer.spans
+                 if include_open or s.end is not None]
+        for s, line in zip(spans, span_lines(
+                tracer, finished_only=not include_open)):
+            records.append((s.start, 1, s._span_num, line))
+    records.sort(key=lambda r: (r[0], r[1], r[2]))
     if isinstance(sink, str):
         with open(sink, "w") as fh:
-            for _, line in records:
-                fh.write(line + "\n")
+            for rec in records:
+                fh.write(rec[3] + "\n")
     else:
-        for _, line in records:
-            sink.write(line + "\n")
+        for rec in records:
+            sink.write(rec[3] + "\n")
     return len(records)
 
 

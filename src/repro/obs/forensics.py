@@ -1,0 +1,128 @@
+"""One-call wiring of the forensic audit plane onto a built cluster.
+
+:func:`attach_forensics` assembles the four forensic components —
+:class:`~repro.obs.context.AttributionRegistry` (causal contexts),
+:class:`~repro.obs.audit.AuditTrail` (per-tenant append-only trail),
+:class:`~repro.obs.flight.FlightRecorder` (bounded recent history with
+incident dumps), and :class:`~repro.obs.alerts.AlertEngine` (declarative
+rules) — and wires them into an existing
+:class:`~repro.core.cluster.Cluster` through the same additive hooks the
+rest of the observability spine uses: the security-event log's sink
+stream, the scheduler's optional ``attribution`` attribute, the UBF
+daemons' and portal's optional ``audit`` attributes, and the fault
+injector's ``on_inject`` hook.
+
+Like :func:`~repro.monitor.wiring.instrument_cluster` and
+:func:`~repro.obs.telemetry.attach_telemetry`, attachment is **idempotent**
+(a second call returns the existing :class:`Forensics` bundle) and
+**order-free** with respect to the other spines — it instruments the
+event log itself if nobody has, and picks up the tracer later if
+telemetry attaches afterwards (``attach_telemetry`` completes the
+handshake).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.monitor.events import SecurityEventLog
+from repro.monitor.wiring import instrument_cluster
+from repro.obs.alerts import AlertEngine, default_rules
+from repro.obs.audit import AuditTrail
+from repro.obs.context import AttributionRegistry
+from repro.obs.flight import FlightRecorder
+
+
+@dataclass
+class Forensics:
+    """The attached forensic plane: one handle per component.
+
+    Stored as ``cluster.forensics`` by :func:`attach_forensics`; the
+    dashboard and benchmarks reach the components through it.
+    """
+
+    registry: AttributionRegistry
+    audit: AuditTrail
+    flight: FlightRecorder
+    alerts: AlertEngine
+    events: SecurityEventLog
+
+
+def _gpu_state(cluster):
+    """Build the flight recorder's live GPU sampler for *cluster*."""
+    def sample() -> list[dict]:
+        out = []
+        for cn in cluster.compute_nodes:
+            for gpu in cn.gpus:
+                summary = getattr(gpu, "forensic_summary", None)
+                if summary is not None:
+                    out.append({"node": cn.node.name, **summary()})
+        return out
+    return sample
+
+
+def attach_forensics(cluster, *, capacity: int = 256,
+                     rules=None) -> Forensics:
+    """Attach the forensic audit plane to *cluster*; returns the bundle.
+
+    Idempotent: a second call returns the existing ``cluster.forensics``.
+    Ensures the security-event log exists (running
+    :func:`~repro.monitor.wiring.instrument_cluster` if needed), then:
+
+    * builds the registry + trail and replays any events recorded
+      *before* attachment into the trail (historical queryability — the
+      flight recorder deliberately starts empty, its rings model what a
+      node retains from now on);
+    * hooks the scheduler (``attribution``), every UBF daemon and the
+      portal (``audit``), the cluster's session opener, and the fault
+      injector (``on_inject``);
+    * subscribes the trail and the flight recorder to the live event
+      stream;
+    * stands up the alert engine with :func:`~repro.obs.alerts.
+      default_rules` (or *rules* when given) sinking ALERT events back
+      into the same log.
+
+    ``capacity`` bounds every flight-recorder ring.  The tracer joins the
+    recorder when telemetry is (or later becomes) attached.
+    """
+    existing = getattr(cluster, "forensics", None)
+    if existing is not None:
+        return existing
+
+    log = instrument_cluster(cluster)
+    clock = lambda: cluster.engine.now  # noqa: E731
+
+    registry = AttributionRegistry(clock)
+    audit = AuditTrail(clock, registry)
+    registry.audit = audit
+    for event in log.events:          # replay pre-attachment history
+        audit.observe_event(event)
+
+    telemetry = getattr(cluster, "telemetry", None)
+    flight = FlightRecorder(
+        clock, capacity=capacity,
+        tracer=telemetry.tracer if telemetry is not None else None,
+        faults=getattr(cluster.fabric, "faults", None),
+        metrics=cluster.metrics,
+        gpu_state=_gpu_state(cluster))
+
+    alerts = AlertEngine(
+        cluster.metrics, events=log, clock=clock,
+        rules=default_rules() if rules is None else tuple(rules),
+        sink=log)
+
+    log.subscribe(audit.observe_event)
+    log.subscribe(flight.observe_event)
+
+    cluster.scheduler.attribution = registry
+    for daemon in cluster.ubf_daemons.values():
+        daemon.audit = audit
+    cluster.portal.audit = audit
+    faults = getattr(cluster.fabric, "faults", None)
+    if faults is not None:
+        faults.on_inject = flight.on_fault
+
+    bundle = Forensics(registry=registry, audit=audit, flight=flight,
+                       alerts=alerts, events=log)
+    cluster.forensics = bundle  # type: ignore[attr-defined]
+    return bundle

@@ -202,4 +202,11 @@ def attach_telemetry(cluster, *, tracing: bool = True) -> Telemetry:
     for node in all_nodes:
         _wrap_pam(node, cluster.metrics, tracer if tracing else None)
     _wrap_gpu_hooks(cluster.scheduler, cluster.metrics)
+
+    # either-order handshake with the forensic plane: a flight recorder
+    # attached before telemetry had no tracer — give it ours so dumps
+    # carry the span window too
+    forensics = getattr(cluster, "forensics", None)
+    if forensics is not None and forensics.flight.tracer is None:
+        forensics.flight.tracer = tracer
     return telemetry

@@ -15,6 +15,7 @@ span exports.
 from __future__ import annotations
 
 import itertools
+from collections import deque
 from contextlib import contextmanager
 from typing import Callable, Iterator
 
@@ -70,8 +71,13 @@ class Span:
         return self
 
     def to_dict(self) -> dict[str, object]:
-        """JSON-ready representation (stable key order)."""
-        return {
+        """JSON-ready representation (stable key order).
+
+        An in-flight span carries ``"open": true`` — ``duration`` reads
+        0.0 while open, so without the flag an exported open span would be
+        indistinguishable from a zero-length finished one.
+        """
+        d: dict[str, object] = {
             "trace_id": self.trace_id,
             "span_id": self.span_id,
             "parent_id": self.parent_id,
@@ -80,6 +86,9 @@ class Span:
             "end": self.end,
             "tags": dict(self.tags),
         }
+        if self.end is None:
+            d["open"] = True
+        return d
 
     def __repr__(self) -> str:  # pragma: no cover
         state = f"{self.start}..{self.end}" if self.end is not None \
@@ -93,12 +102,23 @@ class Tracer:
     ``start_span`` with no parent opens a new trace; with a parent the child
     joins the parent's trace.  All spans (open and finished) are kept in
     ``spans`` in start order.
+
+    ``retention`` caps the store: when set, ``spans`` becomes a bounded
+    ring keeping only the newest *retention* spans — what the flight
+    recorder and the 1e6-event E24 runs need so a long run's tracer does
+    not grow without bound.  The default stays unbounded (full-history
+    queries, golden exports).
     """
 
-    def __init__(self, clock: Callable[[], float] | None = None):
+    def __init__(self, clock: Callable[[], float] | None = None, *,
+                 retention: int | None = None):
+        if retention is not None and retention < 1:
+            raise ValueError("retention must be a positive span count")
         self.clock: Callable[[], float] = clock if clock is not None \
             else (lambda: 0.0)
-        self.spans: list[Span] = []
+        self.retention = retention
+        self.spans: list[Span] | deque[Span] = \
+            [] if retention is None else deque(maxlen=retention)
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
 
@@ -134,6 +154,19 @@ class Tracer:
             self.finish(s)
 
     # -- queries -----------------------------------------------------------
+
+    def tail(self, n: int) -> list[Span]:
+        """The newest *n* spans (open ones included), oldest first.
+
+        Works for both the unbounded list and the bounded ring (deques do
+        not slice); the flight recorder reads its span window through this.
+        """
+        if n <= 0:
+            return []
+        if isinstance(self.spans, deque):
+            return list(itertools.islice(
+                self.spans, max(0, len(self.spans) - n), None))
+        return self.spans[-n:]
 
     def finished_spans(self) -> list[Span]:
         return [s for s in self.spans if s.end is not None]

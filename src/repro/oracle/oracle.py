@@ -193,7 +193,9 @@ class SeparationOracle:
                                  invariant=invariant_id).inc()
 
     def _violation(self, invariant_id: str, subject: str,
-                   detail: str) -> None:
+                   detail: str, *, uid: int = -1,
+                   job_id: int | None = None,
+                   node: str | None = None) -> None:
         assert invariant_id in BY_ID
         now = self.clock()
         self.violations.append(
@@ -204,8 +206,12 @@ class SeparationOracle:
                                  invariant=invariant_id).inc()
         if self.events is not None:
             from repro.monitor.events import EventKind
-            self.events.emit(now, EventKind.ORACLE, -1, subject,
-                             f"[{invariant_id}] {detail}")
+            # the attribution stamps (uid of the principal whose action
+            # surfaced the breach, job/node when known) let the forensic
+            # audit plane chain an ORACLE event to its causal root
+            self.events.emit(now, EventKind.ORACLE, uid, subject,
+                             f"[{invariant_id}] {detail}",
+                             job_id=job_id, node=node)
         if self.fail_fast:
             raise SeparationViolation(
                 f"[{invariant_id}] {subject}: {detail}")
@@ -235,7 +241,8 @@ class SeparationOracle:
                 self._violation(
                     "I1", f"procfs:{fs.table.node_name}",
                     f"{op} for uid {viewer.uid} exposed uids {foreign} "
-                    f"under hidepid={fs.options.hidepid}")
+                    f"under hidepid={fs.options.hidepid}",
+                    uid=viewer.uid, node=fs.table.node_name)
         if not fs.naive and op != "read" and self._shadowed():
             self._shadow_procfs(fs, viewer, op)
 
@@ -260,7 +267,8 @@ class SeparationOracle:
             self._violation(
                 "I1", f"procfs:{fs.table.node_name}",
                 f"indexed {op} diverges from naive reference for uid "
-                f"{viewer.uid}: {got} != {want}")
+                f"{viewer.uid}: {got} != {want}",
+                uid=viewer.uid, node=fs.table.node_name)
 
     # -- I2: UBF verdicts ---------------------------------------------------
 
@@ -285,7 +293,8 @@ class SeparationOracle:
             if verdict is not Verdict.DROP:
                 self._violation(
                     "I2", subject,
-                    f"unidentifiable initiator not dropped on {flow}")
+                    f"unidentifiable initiator not dropped on {flow}",
+                    node=daemon.stack.hostname)
             return
         allowed = reference_ubf_verdict(initiator.uid, initiator.groups,
                                         listener.uid, listener.egid)
@@ -298,13 +307,15 @@ class SeparationOracle:
                     "I2", subject,
                     f"cross-user flow {flow} accepted: uid "
                     f"{initiator.uid} !in egid {listener.egid} of uid "
-                    f"{listener.uid}")
+                    f"{listener.uid}",
+                    uid=initiator.uid, node=pkt.flow.src_host)
         elif verdict is Verdict.DROP and allowed:
             self._violation(
                 "I2", subject,
                 f"flow {flow} the appendix rule accepts was dropped "
                 f"(uid {initiator.uid} vs uid {listener.uid}/egid "
-                f"{listener.egid})")
+                f"{listener.egid})",
+                uid=initiator.uid, node=pkt.flow.src_host)
 
     @staticmethod
     def _live_members(daemon, egid: int) -> frozenset[int]:
@@ -334,7 +345,8 @@ class SeparationOracle:
                 "I2", f"ubf:{daemon.stack.hostname}",
                 f"cached DROP for {'root' if src_uid == 0 else 'same-user'}"
                 f" flow (uid {src_uid} -> uid {listen_uid}/egid "
-                f"{listen_egid})")
+                f"{listen_egid})",
+                uid=src_uid, node=daemon.stack.hostname)
 
     def check_ubf_degraded(self, daemon, verdict) -> None:
         """A degraded (identity-unavailable) verdict was issued."""
@@ -348,7 +360,8 @@ class SeparationOracle:
             self._violation(
                 "I2", f"ubf:{daemon.stack.hostname}",
                 f"degraded verdict {verdict.value} contradicts the "
-                f"{policy} policy")
+                f"{policy} policy",
+                node=daemon.stack.hostname)
 
     # -- I4: placements -----------------------------------------------------
 
@@ -373,28 +386,32 @@ class SeparationOracle:
                     "I7", subject,
                     f"dispatch onto unremediated node {node.name} "
                     f"(fenced={node.fenced}, "
-                    f"needs_remediation={node.needs_remediation})")
+                    f"needs_remediation={node.needs_remediation})",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
         policy = scheduler._policy_for(job)
         whole = policy is NodeSharing.EXCLUSIVE or spec.exclusive
         if sum(take for _, take in plan) != spec.ntasks:
             self._violation(
                 "I4", subject,
                 f"plan covers {sum(t for _, t in plan)} of "
-                f"{spec.ntasks} tasks")
+                f"{spec.ntasks} tasks",
+                uid=job.uid, job_id=job.job_id)
         for node, take in plan:
             uids = node.running_uids()
             if whole and not node.idle:
                 self._violation(
                     "I4", subject,
                     f"exclusive start on non-idle node {node.name} "
-                    f"(uids {sorted(uids)})")
+                    f"(uids {sorted(uids)})",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
             elif (policy is NodeSharing.WHOLE_NODE_USER
                     and not uids <= {job.uid}):
                 self._violation(
                     "I4", subject,
                     f"uid {job.uid} co-located with uids "
                     f"{sorted(uids - {job.uid})} on {node.name} under "
-                    f"whole-node-per-user")
+                    f"whole-node-per-user",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
             n = tasks_placeable(
                 policy, free_cores=node.free_cores,
                 free_mem_mb=node.free_mem_mb,
@@ -409,7 +426,8 @@ class SeparationOracle:
                     "I4", subject,
                     f"{take} tasks placed on {node.name} but only {n} "
                     f"placeable (free {node.free_cores}c/"
-                    f"{node.free_mem_mb}MB)")
+                    f"{node.free_mem_mb}MB)",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
         if not scheduler.config.naive and self._shadowed():
             self._shadow_checks += 1
             ref = reference_placement(scheduler, job)
@@ -418,7 +436,8 @@ class SeparationOracle:
                 self._violation(
                     "I4", subject,
                     f"indexed plan {got} diverges from reference "
-                    f"first-fit plan {ref}")
+                    f"first-fit plan {ref}",
+                    uid=job.uid, job_id=job.job_id)
 
     # -- I7: node rejoin ----------------------------------------------------
 
@@ -442,7 +461,8 @@ class SeparationOracle:
         if orphans:
             self._violation(
                 "I7", subject,
-                f"orphan process(es) {orphans} survived remediation")
+                f"orphan process(es) {orphans} survived remediation",
+                node=node.name)
         remediator = scheduler.remediator
         scrub = getattr(remediator, "scrub_expected", False)
         perms = getattr(remediator, "perms_expected", False)
@@ -460,14 +480,16 @@ class SeparationOracle:
             if scrub and gpu.dirty:
                 self._violation(
                     "I7", f"gpu:{node.name}/nvidia{gpu.index}",
-                    "dirty device memory survived node remediation")
+                    "dirty device memory survived node remediation",
+                    node=node.name)
             if perms:
                 st = node.node.vfs.stat(gpu_dev_path(gpu.index), ROOT_CREDS)
                 if st.gid != 0 or (st.mode & 0o777) != GPU_MODE_UNASSIGNED:
                     self._violation(
                         "I7", f"gpu:{node.name}/nvidia{gpu.index}",
                         f"released device left gid={st.gid} "
-                        f"mode={st.mode & 0o777:#o} after remediation")
+                        f"mode={st.mode & 0o777:#o} after remediation",
+                        node=node.name)
 
     # -- I5: GPU assignment / scrub -----------------------------------------
 
@@ -486,7 +508,8 @@ class SeparationOracle:
                     "I5", f"gpu:{node.name}/nvidia{idx}",
                     f"assigned device is gid={st.gid} "
                     f"mode={st.mode & 0o777:#o}, want gid={upg} "
-                    f"mode={GPU_MODE_ASSIGNED:#o} for uid {job.uid}")
+                    f"mode={GPU_MODE_ASSIGNED:#o} for uid {job.uid}",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
 
     def check_gpu_released(self, node, job, gpu_indices, *,
                            scrub_expected: bool,
@@ -506,7 +529,8 @@ class SeparationOracle:
                 self._violation(
                     "I5", subject,
                     f"residue survived the epilog of job {job.job_id} "
-                    f"(uid {job.uid})")
+                    f"(uid {job.uid})",
+                    uid=job.uid, job_id=job.job_id, node=node.name)
             if perms_expected:
                 st = node.node.vfs.stat(gpu_dev_path(idx), ROOT_CREDS)
                 if st.gid != 0 or (st.mode & 0o777) != GPU_MODE_UNASSIGNED:
@@ -514,7 +538,8 @@ class SeparationOracle:
                         "I5", subject,
                         f"released device left gid={st.gid} "
                         f"mode={st.mode & 0o777:#o}, want gid=0 "
-                        f"mode={GPU_MODE_UNASSIGNED:#o}")
+                        f"mode={GPU_MODE_UNASSIGNED:#o}",
+                        uid=job.uid, job_id=job.job_id, node=node.name)
 
     def check_gpu_read(self, device, creds) -> None:
         """A /dev read reached the device: no cross-uid residue allowed.
@@ -532,7 +557,8 @@ class SeparationOracle:
             self._violation(
                 "I5", f"gpu:nvidia{device.index}",
                 f"uid {creds.uid} read dirty device memory last written "
-                f"by uid {device.last_user_uid}")
+                f"by uid {device.last_user_uid}",
+                uid=creds.uid)
 
     # -- I6: portal ---------------------------------------------------------
 
@@ -547,11 +573,13 @@ class SeparationOracle:
             return
         self._count("I6")
         subject = f"portal:app/{app.app_id}"
+        app_node = getattr(getattr(app, "node", None), "name", None)
         if fwd_creds.uid != user.uid:
             self._violation(
                 "I6", subject,
                 f"forwarding process ran as uid {fwd_creds.uid}, session "
-                f"user is uid {user.uid}")
+                f"user is uid {user.uid}",
+                uid=user.uid, node=app_node)
         if user.uid != app.owner_uid and not user.is_root:
             listener_egid = app.process.creds.egid
             groups = portal.userdb.credentials_for(user).groups
@@ -559,7 +587,8 @@ class SeparationOracle:
                 self._violation(
                     "I6", subject,
                     f"uid {user.uid} reached uid {app.owner_uid}'s app "
-                    f"without membership in its egid {listener_egid}")
+                    f"without membership in its egid {listener_egid}",
+                    uid=user.uid, node=app_node)
 
     def check_portal_routes(self, portal, session, apps) -> None:
         """The route listing for *session* must contain only its own apps."""
@@ -571,7 +600,8 @@ class SeparationOracle:
         if foreign:
             self._violation(
                 "I6", f"portal:routes/uid{session.user.uid}",
-                f"route listing exposed apps of uids {foreign}")
+                f"route listing exposed apps of uids {foreign}",
+                uid=session.user.uid)
 
     # -- I3: smask / ACL ----------------------------------------------------
 
@@ -587,7 +617,8 @@ class SeparationOracle:
                 self._violation(
                     "I3", f"vfs:{path}",
                     f"{op} by uid {creds.uid} stored mode "
-                    f"{stored_mode:#o} carrying smask bits {leaked:#o}")
+                    f"{stored_mode:#o} carrying smask bits {leaked:#o}",
+                    uid=creds.uid)
 
     def check_vfs_acl(self, vfs, path: str, creds, entry) -> None:
         """A setfacl succeeded: the grant must be legal under restriction."""
@@ -601,9 +632,11 @@ class SeparationOracle:
             self._violation(
                 "I3", f"vfs:{path}",
                 f"ACL grant to foreign uid {entry.qualifier} by uid "
-                f"{creds.uid} survived the restriction patch")
+                f"{creds.uid} survived the restriction patch",
+                uid=creds.uid)
         elif entry.tag == "group" and not creds.in_group(entry.qualifier):
             self._violation(
                 "I3", f"vfs:{path}",
                 f"ACL grant to non-member gid {entry.qualifier} by uid "
-                f"{creds.uid} survived the restriction patch")
+                f"{creds.uid} survived the restriction patch",
+                uid=creds.uid)

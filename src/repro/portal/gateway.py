@@ -64,6 +64,10 @@ class Portal:
     tracer: object | None = None
     #: separation oracle (repro.oracle); None = zero-cost hooks
     oracle: object | None = None
+    #: forensic audit trail (repro.obs.audit); successful forwards are
+    #: recorded with causal attribution (denies reach the trail through
+    #: the security-event stream).  None = zero cost.
+    audit: object | None = None
     _routes: dict[int, WebApp] = field(default_factory=dict)
     _sessions: dict[str, PortalSession] = field(default_factory=dict)
     _rng_counter: itertools.count = field(default_factory=lambda: itertools.count(1))
@@ -172,6 +176,11 @@ class Portal:
             self._count("allow")
             if self.oracle is not None:
                 self.oracle.check_portal_forward(self, user, creds, app)
+            if self.audit is not None:
+                self.audit.record(
+                    mechanism="portal", action="allow", uid=user.uid,
+                    node=app.node.name, target=f"portal:app/{app_id}",
+                    detail=f"forwarded to {app.node.name}:{app.port}")
             return page
         except TimedOut:
             # the forwarded hop was dropped by the destination's UBF; the

@@ -208,7 +208,7 @@ class HealthMonitor:
                              state=state.value).inc()
         if self.events is not None:
             self.events.emit(now, EventKind.NODE_LIFECYCLE, -1, lc.name,
-                             f"{state.value}: {detail}")
+                             f"{state.value}: {detail}", node=lc.name)
 
     def _miss(self, lc: NodeLifecycle, now: float) -> None:
         lc.missed += 1
@@ -222,6 +222,9 @@ class HealthMonitor:
             self._fence(lc, now)
 
     def _beat(self, lc: NodeLifecycle, now: float) -> None:
+        # the absence alert watches this family: while faults are active a
+        # frozen total means every watched node has gone silent
+        self.metrics.counter("node_heartbeats_total").inc()
         lc.missed = 0
         if lc.state is NodeHealth.SUSPECT:
             self._transition(lc, now, NodeHealth.UP, "heartbeat returned")
@@ -253,7 +256,7 @@ class HealthMonitor:
                 f"fenced with residue: jobs={list(r.jobs)} "
                 f"orphans={len(r.orphan_pids)} dirty_gpus={len(r.dirty_gpus)} "
                 f"assigned_devs={len(r.assigned_devices)} "
-                f"peer_flows={r.peer_conntrack_flows}")
+                f"peer_flows={r.peer_conntrack_flows}", node=lc.name)
 
     def _record_residue(self, node, now: float) -> NodeResidue:
         """Snapshot what fencing will strand on (and around) the node."""
@@ -299,7 +302,7 @@ class HealthMonitor:
                     now, EventKind.NODE_LIFECYCLE, -1, lc.name,
                     f"flap damping: {len(recent)} rejoins within "
                     f"{self.flap_window:g}s; quarantined "
-                    f"{self.flap_hold:g}s")
+                    f"{self.flap_hold:g}s", node=lc.name)
             return
         lc.rejoin_times = recent + [now]
         self.scheduler.resume(lc.name)  # remediates before rescheduling

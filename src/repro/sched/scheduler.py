@@ -103,6 +103,11 @@ class Scheduler:
         #: remediation, hook failures) are emitted here when wired
         #: (``instrument_cluster`` does).  None = no event cost.
         self.events = None
+        #: optional AttributionRegistry (repro.obs.context); when wired
+        #: (``attach_forensics`` does), every job lifecycle step opens/
+        #: updates a causal context so enforcement verdicts resolve back
+        #: to the submitting uid+job.  None = zero-cost hooks.
+        self.attribution = None
         self._job_spans: dict[int, dict[str, object]] = {}
         #: per-job pending engine events (completion, oom) — cancelled at
         #: finish so a requeued job's stale timers cannot fire into its
@@ -155,6 +160,8 @@ class Scheduler:
         self.jobs[job.job_id] = job
         arrival = self.engine.now if at is None else at
         job.submit_time = arrival
+        if self.attribution is not None:
+            self.attribution.job_submitted(job)
         self.engine.at(arrival, lambda: self._arrive(job))
         return job
 
@@ -454,6 +461,8 @@ class Scheduler:
         self.metrics.samples("wait_time").add(wait)
         self.metrics.histogram("sched_wait_seconds").observe(wait)
         self.metrics.counter("jobs_started").inc()
+        if self.attribution is not None:
+            self.attribution.job_started(job)
         if job.spec.script is not None:
             self._run_batch_script(job, plan[0][0])
             if job.state is not JobState.RUNNING:
@@ -544,6 +553,8 @@ class Scheduler:
             self._node_changed(node, freed=True)
         if self.tracer is not None:
             self._close_job_trace(job, state)
+        if self.attribution is not None:
+            self.attribution.job_finished(job, state)
         self.accounting.record(job)
         self.metrics.counter(f"jobs_{state.name.lower()}").inc()
         self._try_dispatch()
@@ -595,7 +606,8 @@ class Scheduler:
             self.events.emit(
                 self.engine.now, EventKind.NODE_LIFECYCLE, -1, node.name,
                 f"{which} failed for job {job.job_id}: {exc!r}; "
-                f"node drained pending remediation")
+                f"node drained pending remediation",
+                job_id=job.job_id, node=node.name)
 
     def _trigger_oom(self, job: Job) -> None:
         """The misbehaving job exhausts memory on each of its nodes; the
@@ -665,7 +677,8 @@ class Scheduler:
             self.events.emit(
                 self.engine.now, EventKind.NODE_LIFECYCLE, -1, node_name,
                 "remediated: " + ", ".join(
-                    f"{k}={v}" for k, v in sorted(summary.items())))
+                    f"{k}={v}" for k, v in sorted(summary.items())),
+                node=node_name)
         if self.oracle is not None:
             self.oracle.check_node_rejoin(self, node)
         return summary
@@ -688,7 +701,8 @@ class Scheduler:
             from repro.monitor.events import EventKind
             self.events.emit(
                 self.engine.now, EventKind.NODE_LIFECYCLE, -1, node_name,
-                f"fenced: {len(victims)} running job(s) lost")
+                f"fenced: {len(victims)} running job(s) lost",
+                node=node_name)
         for job in victims:
             self._finish(job, JobState.NODE_FAIL)
             self._maybe_requeue(job)
@@ -711,7 +725,7 @@ class Scheduler:
                 from repro.monitor.events import EventKind
                 self.events.emit(
                     self.engine.now, EventKind.NODE_LIFECYCLE, -1,
-                    f"job{job.job_id}", job.reason)
+                    f"job{job.job_id}", job.reason, job_id=job.job_id)
             return False
         self._requeue(job)
         return True
@@ -725,6 +739,8 @@ class Scheduler:
         job.allocations = []
         job.reason = "requeued after node failure"
         self.metrics.counter("jobs_requeued").inc()
+        if self.attribution is not None:
+            self.attribution.job_requeued(job)
         self._queue.append(job)
         self._fresh_jobs.add(job.job_id)
         if self.tracer is not None:

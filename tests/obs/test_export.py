@@ -114,3 +114,50 @@ class TestJsonl:
         log, _ = self.make_sources()
         sink = io.StringIO()
         assert export_jsonl(sink, events=log) == 2
+
+    def test_equal_timestamp_tie_break_is_deterministic(self):
+        # An event and a span sharing a timestamp must always render in
+        # the same order: events first, then spans, each in record order.
+        def build():
+            log = SecurityEventLog()
+            log.emit(2.0, EventKind.NET_DENY, 1000, "a", "first")
+            log.emit(2.0, EventKind.NET_DENY, 1001, "b", "second")
+            tracer = Tracer(clock=lambda: 2.0)
+            tracer.finish(tracer.start_span("s-a"))
+            tracer.finish(tracer.start_span("s-b"))
+            return log, tracer
+
+        outputs = []
+        for _ in range(2):
+            log, tracer = build()
+            sink = io.StringIO()
+            export_jsonl(sink, events=log, tracer=tracer)
+            outputs.append(sink.getvalue())
+        assert outputs[0] == outputs[1]
+        records = [json.loads(ln) for ln in outputs[0].splitlines()]
+        assert [r["type"] for r in records] == \
+            ["event", "event", "span", "span"]
+        assert [r.get("detail") or r.get("name") for r in records] == \
+            ["first", "second", "s-a", "s-b"]
+
+    def test_include_open_exports_open_spans_tagged(self):
+        log, tracer = self.make_sources()
+        sink = io.StringIO()
+        n = export_jsonl(sink, events=log, tracer=tracer, include_open=True)
+        records = [json.loads(ln) for ln in
+                   sink.getvalue().strip().splitlines()]
+        assert n == 4  # the open span is now included
+        (open_rec,) = [r for r in records if r["type"] == "span"
+                       and r["name"] == "never-finished"]
+        assert open_rec["open"] is True and open_rec["end"] is None
+        # finished spans never carry the flag
+        (done,) = [r for r in records
+                   if r["type"] == "span" and r["name"] == "job"]
+        assert "open" not in done
+
+    def test_span_lines_finished_only_toggle(self):
+        _, tracer = self.make_sources()
+        assert len(list(span_lines(tracer))) == 1
+        both = list(span_lines(tracer, finished_only=False))
+        assert len(both) == 2
+        assert json.loads(both[1])["open"] is True

@@ -93,3 +93,42 @@ class TestQueries:
         d = span.to_dict()
         assert list(d)[:3] == ["trace_id", "span_id", "parent_id"]
         assert d["tags"] == {"k": "v"}
+
+    def test_open_span_to_dict_carries_open_flag(self):
+        tracer, _ = make_tracer()
+        span = tracer.start_span("inflight")
+        assert span.to_dict()["open"] is True
+        tracer.finish(span)
+        assert "open" not in span.to_dict()
+
+
+class TestRetention:
+    def test_default_is_unbounded(self):
+        tracer, _ = make_tracer()
+        for i in range(100):
+            tracer.finish(tracer.start_span(f"s{i}"))
+        assert len(tracer.spans) == 100
+
+    def test_bounded_ring_keeps_newest(self):
+        tracer = Tracer(retention=3)
+        for i in range(10):
+            tracer.finish(tracer.start_span(f"s{i}"))
+        assert [s.name for s in tracer.spans] == ["s7", "s8", "s9"]
+        # IDs keep counting even as old spans are evicted
+        assert tracer.spans[-1].span_id == "s000010"
+
+    def test_retention_validated(self):
+        with pytest.raises(ValueError):
+            Tracer(retention=0)
+
+    def test_tail_works_on_list_and_ring(self):
+        unbounded, _ = make_tracer()
+        ring = Tracer(retention=5)
+        for t in (unbounded, ring):
+            for i in range(8):
+                t.finish(t.start_span(f"s{i}"))
+        assert [s.name for s in unbounded.tail(3)] == ["s5", "s6", "s7"]
+        assert [s.name for s in ring.tail(3)] == ["s5", "s6", "s7"]
+        assert [s.name for s in ring.tail(99)] == \
+            ["s3", "s4", "s5", "s6", "s7"]
+        assert unbounded.tail(0) == [] and ring.tail(0) == []

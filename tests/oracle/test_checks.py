@@ -367,7 +367,9 @@ class TestReporting:
                                invariant="I3").value == 1
         (event,) = log.events
         assert event.kind is EventKind.ORACLE
-        assert event.subject_uid == -1 and event.time == 42.0
+        # the event carries the acting principal so the forensic audit
+        # plane can chain the violation back to its causal root
+        assert event.subject_uid == alice.uid and event.time == 42.0
 
     def test_summary_rows_cover_catalog(self, llsc_node, userdb):
         oracle = SeparationOracle()
