@@ -1,0 +1,93 @@
+"""E27 regression gate: fail CI when the columnar data plane regresses.
+
+Compares the freshly produced ``benchmarks/results/e27_ubf.json`` (the
+smoke run CI just executed) against the committed
+``benchmarks/results/e27_baseline.json`` and exits non-zero when:
+
+* columnar flow-decisions/sec at any baseline point regressed more than
+  20% below the committed floor (the baseline stores *half* the reference
+  machine's measurement, so honest runner variance passes and a return to
+  per-object dict probing does not), or
+* the columnar-vs-``decide_batch`` speedup fell below the baseline's
+  ``min_speedup_vs_batch`` for that point (measured back-to-back in one
+  process, so largely machine-independent; the 1e6 point carries the
+  >=5x acceptance ratio), or
+* verdict identity against the per-object reference paths was lost, or
+* memory per million cached verdicts exceeded the baseline ceiling or the
+  flat-vs-dict ratio fell below its minimum.
+
+Usage: ``python benchmarks/check_e27.py`` from the repo root (CI runs it
+right after the smoke benchmark).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+TOLERANCE = 0.8  # >20% below the committed floor fails
+
+
+def load(name: str) -> dict:
+    path = os.path.join(HERE, "results", name)
+    with open(path) as fh:
+        return json.load(fh)
+
+
+def main() -> int:
+    baseline = load("e27_baseline.json")
+    current = load("e27_ubf.json")
+    failures: list[str] = []
+
+    cur_points = {p["decisions"]: p for p in current["points"]}
+    for bp in baseline["points"]:
+        cp = cur_points.get(bp["decisions"])
+        if cp is None:
+            continue  # full-sweep-only point; smoke runs don't produce it
+        floor = bp["columnar_decisions_per_sec_floor"] * TOLERANCE
+        got = cp["columnar"]["decisions_per_sec"]
+        if got < floor:
+            failures.append(
+                f"{bp['decisions']} decisions: columnar {got}/s < "
+                f"{floor:.0f} (floor "
+                f"{bp['columnar_decisions_per_sec_floor']} - 20%)")
+        if cp["speedup_vs_batch"] < bp["min_speedup_vs_batch"]:
+            failures.append(
+                f"{bp['decisions']} decisions: speedup "
+                f"{cp['speedup_vs_batch']}x < "
+                f"{bp['min_speedup_vs_batch']}x vs decide_batch")
+        if not cp["verdicts_identical"]:
+            failures.append(
+                f"{bp['decisions']} decisions: verdict divergence from "
+                f"the per-object reference paths")
+
+    mem, bmem = current["memory"], baseline["memory"]
+    if mem["columnar_bytes_per_million"] > bmem[
+            "max_columnar_bytes_per_million"]:
+        failures.append(
+            f"memory: {mem['columnar_bytes_per_million']} B/1M verdicts > "
+            f"ceiling {bmem['max_columnar_bytes_per_million']}")
+    if mem["ratio"] < bmem["min_ratio"]:
+        failures.append(
+            f"memory: flat-vs-dict ratio {mem['ratio']}x < "
+            f"{bmem['min_ratio']}x")
+    if current["oracle"]["violations"]:
+        failures.append(
+            f"oracle: {current['oracle']['violations']} violations")
+    if not current["strict_tier"]["verdicts_identical"]:
+        failures.append("strict tier changed verdicts")
+
+    if failures:
+        print("E27 REGRESSION:")
+        for f in failures:
+            print(f"  - {f}")
+        return 1
+    print("E27 regression gate: OK "
+          f"({len(baseline['points'])} baseline points checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

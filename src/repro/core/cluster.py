@@ -28,6 +28,7 @@ from repro.kernel.vfs import Filesystem
 from repro.net.firewall import Firewall, ubf_ruleset
 from repro.net.rdma import RDMAFabric
 from repro.net.stack import Fabric, HostStack
+from repro.net.zones import ZoneTier, apply_zone_tiers
 from repro.portal.gateway import Portal
 from repro.sched.jobs import Job, JobSpec
 from repro.sched.nodes import ComputeNode
@@ -179,7 +180,8 @@ class Cluster:
                     stack, fabric, userdb,
                     cache_enabled=config.ubf_cache,
                     fail_open=config.ubf_fail_open,
-                    ident_retries=config.ubf_ident_retries).install()
+                    ident_retries=config.ubf_ident_retries,
+                    cache_capacity=config.ubf_cache_max).install()
             return node
 
         login_nodes = [make_node(f"login{i}", NodeRole.LOGIN, NodeSpec())
@@ -203,13 +205,18 @@ class Cluster:
         compute_nodes = [ComputeNode.create(n, gpu_dev_mode=gpu_mode)
                          for n in compute_raw + debug_raw]
 
-        partitions = [Partition("normal",
-                                tuple(n.name for n in compute_raw))]
+        strict = set(config.strict_zones)
+        partitions = [Partition(
+            "normal", tuple(n.name for n in compute_raw),
+            tier=ZoneTier.STRICT if "normal" in strict
+            else ZoneTier.STANDARD)]
         if debug_raw:
             partitions.append(Partition(
                 "debug", tuple(n.name for n in debug_raw),
                 policy_override=NodeSharing.SHARED,
-                max_duration=debug_time_limit, interactive=True))
+                max_duration=debug_time_limit, interactive=True,
+                tier=ZoneTier.STRICT if "debug" in strict
+                else ZoneTier.STANDARD))
 
         gpu_cfg = GpuSeparationConfig(
             assign_device_perms=config.gpu_dev_assignment,
@@ -257,6 +264,9 @@ class Cluster:
             dtn_nodes=dtn_nodes,
         )
         cluster._build_storage_layout(projects or {})
+        if config.ubf and strict:
+            # push STRICT postures onto the zoned nodes' daemons
+            apply_zone_tiers(cluster)
         if os.environ.get("REPRO_ORACLE"):
             # Suite-wide invariant checking: REPRO_ORACLE=1 arms every
             # cluster any test builds, fail-fast by default so a violating

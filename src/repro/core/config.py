@@ -71,6 +71,13 @@ class SeparationConfig:
     ubf_fail_open: bool = False
     #: ident retry attempts after the first failure (retry-with-backoff).
     ubf_ident_retries: int = 2
+    #: UBF decision-cache entry bound per daemon (None = unbounded); LRU
+    #: eviction beyond this, counted under ubf_cache_evictions_total.
+    ubf_cache_max: int | None = 65_536
+    #: partition names zoned STRICT (SURF-style sensitive-data zones):
+    #: their nodes' UBF daemons get forced fail-closed, extra ident
+    #: retries, and a cached-verdict TTL (repro.net.zones).
+    strict_zones: tuple[str, ...] = ()
     #: conntrack enabled (ablation knob; always on in real deployments).
     conntrack: bool = True
     #: conntrack table bound per host (None = unbounded); LRU eviction
@@ -111,6 +118,8 @@ class SeparationConfig:
             "file_permission_handler": self.file_permission_handler,
             "ubf": self.ubf,
             "ubf_fail_open": self.ubf_fail_open,
+            "ubf_cache_max": self.ubf_cache_max,
+            "strict_zones": self.strict_zones,
             "conntrack_max": self.conntrack_max,
             "portal_auth": self.portal_auth,
             "gpu_dev_assignment": self.gpu_dev_assignment,

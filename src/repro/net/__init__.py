@@ -29,7 +29,27 @@ from repro.net.stack import (
     HostStack,
     SocketAPI,
 )
-from repro.net.ubf import COST_US, UBFDaemon, UBFDecisionLog, firewall_cost_us
+from repro.net.ubf import (
+    COST_US,
+    DecisionReason,
+    ShardedVerdictCache,
+    UBFDaemon,
+    UBFDecisionLog,
+    firewall_cost_us,
+)
+from repro.net.ubf_columnar import (
+    ColumnarVerdictCache,
+    FlowBatch,
+    in_sorted,
+    to_verdicts,
+)
+from repro.net.zones import (
+    POSTURES,
+    UBFPosture,
+    ZoneTier,
+    apply_tier,
+    apply_zone_tiers,
+)
 
 __all__ = [
     "ConnState", "ConntrackTable", "Firewall", "FiveTuple", "Packet",
@@ -39,5 +59,8 @@ __all__ = [
     "MemoryRegion", "QueuePair", "RDMAFabric",
     "BoundSocket", "Connection", "ConnectionEnd", "Datagram", "Fabric",
     "HostStack", "SocketAPI",
-    "COST_US", "UBFDaemon", "UBFDecisionLog", "firewall_cost_us",
+    "COST_US", "DecisionReason", "ShardedVerdictCache", "UBFDaemon",
+    "UBFDecisionLog", "firewall_cost_us",
+    "ColumnarVerdictCache", "FlowBatch", "in_sorted", "to_verdicts",
+    "POSTURES", "UBFPosture", "ZoneTier", "apply_tier", "apply_zone_tiers",
 ]

@@ -175,11 +175,28 @@ class ConntrackTable:
         return entry
 
     def commit(self, flow: FiveTuple) -> ConntrackEntry:
-        entry = ConntrackEntry(flow)
+        """Track *flow*, returning the live entry if either direction is
+        already tracked.
+
+        Re-committing must not build a fresh :class:`ConntrackEntry`: that
+        would zero the packet/byte counters of a live flow, and a commit of
+        the reverse direction would insert a second entry for the same
+        connection — doubling occupancy, skewing LRU eviction, and
+        double-counting in :meth:`purge_host`.  A commit of a tracked flow
+        is just an LRU touch.
+        """
         if not self.enabled:
-            return entry
-        self._table[flow] = entry
-        self._table.move_to_end(flow)
+            return ConntrackEntry(flow)
+        key, entry = flow, self._table.get(flow)
+        if entry is None:
+            rev = flow.reversed()
+            entry = self._table.get(rev)
+            if entry is not None:
+                key = rev
+        if entry is None:
+            entry = ConntrackEntry(flow)
+            self._table[key] = entry
+        self._table.move_to_end(key)
         if self.capacity is not None:
             while len(self._table) > self.capacity:
                 self._table.popitem(last=False)
@@ -232,6 +249,7 @@ class ConntrackTable:
 
 
 NfqueueHandler = Callable[[Packet], Verdict]
+NfqueueBatchHandler = Callable[[list[Packet]], list[Verdict]]
 
 
 @dataclass
@@ -247,6 +265,7 @@ class Firewall:
     conntrack: ConntrackTable = field(default_factory=ConntrackTable)
     metrics: MetricSet = field(default_factory=MetricSet)
     _nfqueue: NfqueueHandler | None = None
+    _nfqueue_batch: NfqueueBatchHandler | None = None
 
     def __post_init__(self) -> None:
         if self.conntrack.metrics is None:
@@ -255,6 +274,12 @@ class Firewall:
     def bind_nfqueue(self, handler: NfqueueHandler) -> None:
         self._nfqueue = handler
 
+    def bind_nfqueue_batch(self, handler: NfqueueBatchHandler) -> None:
+        """Attach the daemon's burst entry point used by
+        :meth:`evaluate_batch`; packets queued in one burst reach the
+        daemon as a single list instead of one callback each."""
+        self._nfqueue_batch = handler
+
     def unbind_nfqueue(self) -> NfqueueHandler | None:
         """Detach the userspace daemon (it crashed or was stopped).
 
@@ -262,9 +287,12 @@ class Firewall:
         drops NEW connections while conntrack keeps established flows
         alive — the degradation contract of the real nfqueue data path.
         Returns the detached handler so a restart can rebind the exact
-        callable (including any monitoring wrappers around it).
+        callable (including any monitoring wrappers around it).  The batch
+        handler is detached alongside it — a crashed daemon must not keep
+        serving bursts.
         """
         handler, self._nfqueue = self._nfqueue, None
+        self._nfqueue_batch = None
         return handler
 
     def evaluate(self, pkt: Packet) -> Verdict:
@@ -299,6 +327,60 @@ class Firewall:
         if self.default_policy is Verdict.ACCEPT:
             self.conntrack.commit(pkt.flow)
         return self.default_policy
+
+    def evaluate_batch(self, pkts: list[Packet]) -> list[Verdict]:
+        """Run a burst through conntrack/rules with one daemon callback.
+
+        Each packet takes the same conntrack-then-chain walk as
+        :meth:`evaluate`, but every packet that lands on an NFQUEUE rule is
+        parked and handed to the bound batch handler (or, failing that, the
+        per-packet handler) in a single call — the kernel analogue of
+        nfqueue's range verdicts.  The burst is treated as arriving
+        together: a queued packet does not see conntrack entries created by
+        later verdicts in the same burst, which mirrors
+        :meth:`UBFDaemon.decide_batch`'s coalescing semantics.
+        """
+        out: list[Verdict | None] = [None] * len(pkts)
+        queued: list[int] = []
+        for i, pkt in enumerate(pkts):
+            entry = self.conntrack.lookup(pkt.flow)
+            if entry is not None:
+                entry.packets += 1
+                entry.bytes += pkt.payload_len
+                self.metrics.counter("conntrack_fastpath_packets").inc()
+                out[i] = Verdict.ACCEPT
+                continue
+            self.metrics.counter("rule_walks").inc()
+            for rule in self.rules:
+                if not rule.matches(pkt):
+                    continue
+                if rule.verdict is Verdict.NFQUEUE:
+                    self.metrics.counter("nfqueue_decisions").inc()
+                    if self._nfqueue is None and self._nfqueue_batch is None:
+                        out[i] = Verdict.DROP  # no daemon: fail closed
+                    else:
+                        queued.append(i)
+                elif rule.verdict is Verdict.ACCEPT:
+                    self.conntrack.commit(pkt.flow)
+                    out[i] = Verdict.ACCEPT
+                else:
+                    out[i] = rule.verdict
+                break
+            else:
+                if self.default_policy is Verdict.ACCEPT:
+                    self.conntrack.commit(pkt.flow)
+                out[i] = self.default_policy
+        if queued:
+            burst = [pkts[i] for i in queued]
+            if self._nfqueue_batch is not None:
+                verdicts = self._nfqueue_batch(burst)
+            else:
+                verdicts = [self._nfqueue(p) for p in burst]
+            for i, verdict in zip(queued, verdicts):
+                if verdict is Verdict.ACCEPT:
+                    self.conntrack.commit(pkts[i].flow)
+                out[i] = verdict
+        return out
 
 
 def ubf_ruleset(low_port_policy: Verdict = Verdict.ACCEPT) -> list[Rule]:

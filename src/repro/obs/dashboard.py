@@ -307,7 +307,9 @@ def ops_dashboard(cluster, *, window: float | None = None,
                    "node_rejoins_total", "node_flap_quarantines_total",
                    "dead_host_purges_total", "jobs_requeued",
                    "jobs_requeue_exhausted", "hook_failures_total",
-                   "epilog_skipped_fenced", "ubf_cache_purged_total"):
+                   "epilog_skipped_fenced", "ubf_cache_purged_total",
+                   "ubf_cache_evictions_total", "ubf_tier_applied_total",
+                   "ubf_allowset_fallbacks"):
         for metric in sorted(metrics.family(family),
                              key=lambda m: (m.name, m.labels)):
             rows.append([_series_label(metric), int(metric.value)])

@@ -59,6 +59,40 @@ class TestConntrack:
         ct.commit(flow())
         assert ct.lookup(flow()) is None
 
+    def test_recommit_preserves_live_counters(self):
+        # re-committing a tracked flow must not zero its packet/byte
+        # counters with a fresh entry
+        ct = ConntrackTable()
+        f = flow()
+        entry = ct.commit(f)
+        entry.packets, entry.bytes = 7, 700
+        again = ct.commit(f)
+        assert again is entry
+        assert again.packets == 7 and again.bytes == 700
+        assert len(ct) == 1
+
+    def test_reverse_commit_shares_the_entry(self):
+        # both directions of a connection are one tracked flow: a commit
+        # of the reverse direction must not double occupancy
+        ct = ConntrackTable()
+        f = flow()
+        entry = ct.commit(f)
+        entry.packets = 3
+        assert ct.commit(f.reversed()) is entry
+        assert len(ct) == 1
+        # and purge sees exactly one entry for the connection
+        assert ct.purge_host("c1") == 1
+
+    def test_recommit_is_an_lru_touch(self):
+        ct = ConntrackTable(capacity=2)
+        f1, f2 = flow(5000), flow(5001)
+        ct.commit(f1)
+        ct.commit(f2)
+        ct.commit(f1)          # touch: f1 now MRU
+        ct.commit(flow(5002))  # evicts f2, not f1
+        assert ct.lookup(f1) is not None
+        assert ct.lookup(f2) is None
+
     def test_evict(self):
         ct = ConntrackTable()
         ct.commit(flow())
