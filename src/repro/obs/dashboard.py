@@ -94,6 +94,61 @@ def denial_posture(log: SecurityEventLog, userdb=None) -> list[dict]:
     return sorted(rows, key=lambda r: (-r["denials"], r["uid"]))
 
 
+def shard_posture(report, metrics) -> str:
+    """Render the per-shard posture of a sharded simulation (Markdown).
+
+    Takes the :class:`~repro.sim.shard.ShardReport` a
+    :meth:`~repro.sim.shard.ShardedEngine.run` returned and the engine's
+    :class:`~repro.sim.metrics.MetricSet` — the same pairing E28 records —
+    and shows what operations staff would watch on a sharded run: per-shard
+    progress and health (fenced shards first), cross-shard traffic by
+    message kind, and the merge-barrier wait distribution (time shards
+    spend stalled on the slowest peer — the scalability signal).
+    """
+    lines = ["## Sharded simulation posture", ""]
+    state = "DEGRADED (fenced shards)" if report.fenced_shards else "ok"
+    lines.append(
+        f"{len(report.per_shard) + len(report.fenced_shards)} shards · "
+        f"{len(report.zones)} zones reporting · "
+        f"{report.epochs} epochs to t={report.final_time:g}s · "
+        f"{report.total_events} events "
+        f"({report.events_per_sec:,.0f}/s) · state {state}")
+    lines.append("")
+    rows: list[list[object]] = []
+    for sid in sorted(set(report.per_shard) | set(report.fenced_shards)):
+        if sid in report.fenced_shards:
+            rows.append([sid, "FENCED", "-", "-", "-"])
+            continue
+        info = report.per_shard[sid]
+        rate = metrics.gauge("shard_events_per_sec", shard=sid).value
+        pend = metrics.gauge("shard_pending_events", shard=sid).value
+        zones = ",".join(str(z) for z in info["zones"])
+        rows.append([sid, "up", info["events"], f"{rate:,.0f}",
+                     f"{zones} ({int(pend)} pending)"])
+    lines.append(_md_table(
+        ["shard", "state", "events", "events/s", "zones"], rows))
+    lines.append("")
+    traffic = [[_series_label(m), int(m.value)]
+               for m in sorted(metrics.family("shard_msgs_total"),
+                               key=lambda m: (m.name, m.labels))]
+    dropped = report.msgs_dropped_fenced
+    lines.append(
+        f"Cross-shard messages: {report.msgs_routed} routed"
+        + (f" · {dropped} dropped to fenced shards" if dropped else ""))
+    if traffic:
+        lines.append("")
+        lines.append(_md_table(["series", "value"], traffic))
+    lines.append("")
+    wait = metrics.samples("shard_barrier_wait").summary()
+    if wait["n"]:
+        lines.append(
+            f"Merge-barrier wait (s): n={wait['n']} "
+            f"mean={wait['mean']:.4f} p50={wait['p50']:.4f} "
+            f"p95={wait['p95']:.4f} max={wait['max']:.4f}")
+        lines.append("")
+    return "\n".join(lines).rstrip() + "\n"
+
+
 def ops_dashboard(cluster, *, window: float | None = None,
                   now: float | None = None, min_denials: int = 5,
                   min_distinct_targets: int = 3) -> str:

@@ -15,6 +15,12 @@ from repro.sched.health import (
     attach_health,
 )
 from repro.sched.jobs import Allocation, Job, JobSpec, JobState
+from repro.sched.multizone import (
+    ZoneConfig,
+    ZoneSim,
+    build_zone,
+    make_zone_factories,
+)
 from repro.sched.nodes import ComputeNode
 from repro.sched.partitions import DEFAULT_PARTITION, Partition
 from repro.sched.policies import NodeSharing, tasks_placeable
@@ -36,6 +42,7 @@ __all__ = [
     "HealthMonitor", "NodeHealth", "NodeLifecycle", "NodeResidue",
     "attach_health",
     "Allocation", "Job", "JobSpec", "JobState",
+    "ZoneConfig", "ZoneSim", "build_zone", "make_zone_factories",
     "ComputeNode",
     "DEFAULT_PARTITION", "Partition",
     "NodeSharing", "tasks_placeable",

@@ -32,10 +32,23 @@ class UsageRecord:
 
 
 class AccountingDB:
-    """Append-only record store, one row per finished job."""
+    """Append-only record store, one row per finished job.
 
-    def __init__(self):
+    ``max_records`` bounds retention for long-horizon runs (the sharded
+    1e7-event simulations of E28): only the newest *max_records* rows stay
+    queryable, while :attr:`records_total` and
+    :attr:`core_seconds_total` keep exact grand totals over everything
+    ever recorded.  The default (None) retains every row, as ``sacct``
+    and the PrivateData tests expect.
+    """
+
+    def __init__(self, max_records: int | None = None):
         self._records: list[UsageRecord] = []
+        self.max_records = max_records
+        #: rows ever recorded (survives retention trimming)
+        self.records_total = 0
+        #: core-seconds ever recorded (survives retention trimming)
+        self.core_seconds_total = 0.0
 
     def record(self, job: Job) -> UsageRecord:
         rec = UsageRecord(
@@ -52,6 +65,12 @@ class AccountingDB:
             nodes=tuple(job.nodes),
         )
         self._records.append(rec)
+        self.records_total += 1
+        self.core_seconds_total += rec.core_seconds
+        if self.max_records is not None \
+                and len(self._records) > 2 * self.max_records:
+            # trim in blocks so the O(n) del amortizes to O(1) per record
+            del self._records[:len(self._records) - self.max_records]
         return rec
 
     def all_records(self) -> list[UsageRecord]:

@@ -108,6 +108,12 @@ class Scheduler:
         #: updates a causal context so enforcement verdicts resolve back
         #: to the submitting uid+job.  None = zero-cost hooks.
         self.attribution = None
+        #: optional callable ``(job, state) -> None`` invoked at the very
+        #: end of every job finish (after accounting, before the dispatch
+        #: wakeup).  Long-horizon drivers (repro.sched.multizone) use it to
+        #: prune finished jobs from :attr:`jobs` so memory stays
+        #: proportional to *live* jobs over 1e7-event runs.  None = no cost.
+        self.on_finish = None
         self._job_spans: dict[int, dict[str, object]] = {}
         #: per-job pending engine events (completion, oom) — cancelled at
         #: finish so a requeued job's stale timers cannot fire into its
@@ -557,6 +563,8 @@ class Scheduler:
             self.attribution.job_finished(job, state)
         self.accounting.record(job)
         self.metrics.counter(f"jobs_{state.name.lower()}").inc()
+        if self.on_finish is not None:
+            self.on_finish(job, state)
         self._try_dispatch()
 
     def _run_hook(self, which: str, hook, job: Job, node: ComputeNode,

@@ -1,4 +1,4 @@
-"""Discrete-event simulation engine, metrics and RNG utilities."""
+"""Discrete-event simulation engine, sharding, metrics and RNG utilities."""
 
 from repro.sim.engine import Engine, SimClock
 from repro.sim.metrics import (
@@ -9,10 +9,21 @@ from repro.sim.metrics import (
     Samples,
     TimeWeighted,
 )
-from repro.sim.rng import DEFAULT_SEED, make_rng, poisson_arrivals, spawn
+from repro.sim.rng import DEFAULT_SEED, make_rng, poisson_arrivals, spawn, substream
+from repro.sim.shard import (
+    MergeProtocolError,
+    Outbox,
+    ShardedEngine,
+    ShardHost,
+    ShardMessage,
+    ShardReport,
+    SimZone,
+)
 
 __all__ = [
     "Engine", "SimClock",
     "Counter", "Gauge", "Histogram", "MetricSet", "Samples", "TimeWeighted",
-    "DEFAULT_SEED", "make_rng", "poisson_arrivals", "spawn",
+    "DEFAULT_SEED", "make_rng", "poisson_arrivals", "spawn", "substream",
+    "MergeProtocolError", "Outbox", "ShardedEngine", "ShardHost",
+    "ShardMessage", "ShardReport", "SimZone",
 ]

@@ -53,6 +53,9 @@ class Engine:
         #: O(1) (len(heap) - this) instead of a full heap scan; the heap is
         #: compacted once cancelled entries outnumber live ones.
         self._cancelled_in_heap = 0
+        #: completed amortized compaction sweeps (observability + the
+        #: cancel-storm regression test assert on this)
+        self.compactions = 0
 
     @property
     def now(self) -> float:
@@ -62,6 +65,7 @@ class Engine:
         """Schedule *action* at absolute virtual time *time*."""
         if time < self.now:
             raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        self._maybe_compact()
         ev = _Event(time, next(self._seq), action)
         heapq.heappush(self._heap, ev)
         return ev
@@ -73,26 +77,43 @@ class Engine:
         return self.at(self.now + delay, action)
 
     def cancel(self, event: _Event) -> None:
-        """Cancel a scheduled event (idempotent; no-op once it has fired)."""
+        """Cancel a scheduled event (idempotent; no-op once it has fired).
+
+        Strictly O(1): the event is tombstoned and counted, nothing else.
+        Tombstone compaction is an *amortized sweep* run from the schedule/
+        drain boundaries (:meth:`at`, :meth:`run`, :meth:`step`) — a cancel
+        storm (node churn requeueing thousands of jobs) therefore never
+        pays a synchronous full-heap rebuild inside the cancel path itself.
+        """
         if event.cancelled or event.done:
             return
         event.cancelled = True
         self._cancelled_in_heap += 1
-        # Compact once cancelled tombstones dominate: keeps the heap (and
-        # every subsequent push/pop) proportional to *live* events.
-        if self._cancelled_in_heap > len(self._heap) // 2:
+
+    def _maybe_compact(self) -> None:
+        """Amortized sweep: rebuild the heap once tombstones dominate.
+
+        The O(live + cancelled) rebuild only triggers after at least
+        ``len(heap) // 2`` cancels accumulated since the last sweep, so its
+        cost amortizes to O(1) per cancel while keeping the heap — and every
+        subsequent push/pop — proportional to *live* events.
+        """
+        if self._cancelled_in_heap > len(self._heap) // 2 \
+                and self._cancelled_in_heap > 32:
             self._compact()
 
     def _compact(self) -> None:
         self._heap = [e for e in self._heap if not e.cancelled]
         heapq.heapify(self._heap)
         self._cancelled_in_heap = 0
+        self.compactions += 1
 
     def run(self, until: float | None = None) -> float:
         """Process events in order until the heap drains or *until* passes.
 
         Returns the final clock value.
         """
+        self._maybe_compact()
         while self._heap:
             if until is not None and self._heap[0].time > until:
                 self.clock._advance(until)
@@ -111,6 +132,7 @@ class Engine:
 
     def step(self) -> bool:
         """Process exactly one event; False when the heap is empty."""
+        self._maybe_compact()
         while self._heap:
             ev = heapq.heappop(self._heap)
             if ev.cancelled:

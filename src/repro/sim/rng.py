@@ -24,6 +24,22 @@ def spawn(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
     return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]
 
 
+def substream(seed: int, *key: int) -> np.random.Generator:
+    """Stable, independent substream for ``(seed, key)``.
+
+    Unlike :func:`spawn` — whose children depend on how many spawns came
+    before — the substream for a given ``(root seed, key path)`` is a pure
+    function of its arguments: ``substream(s, 7)`` is the same generator
+    whether the run has 8 zones or 64, one worker or sixteen.  The sharded
+    engine keys every zone's randomness this way (``substream(seed,
+    zone_id)``), which is what makes traces independent of shard count,
+    shard assignment and worker count (DESIGN.md "Sharded simulation
+    architecture").
+    """
+    return np.random.default_rng(
+        np.random.SeedSequence(entropy=seed, spawn_key=tuple(key)))
+
+
 def poisson_arrivals(rng: np.random.Generator, rate: float, horizon: float,
                      start: float = 0.0) -> np.ndarray:
     """Arrival times of a Poisson process with *rate* events/unit on

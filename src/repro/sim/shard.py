@@ -1,0 +1,545 @@
+"""Sharded simulation engine: epoch-stepped zones with a deterministic merge.
+
+E24 tops out around 4k nodes / 1e6 events because the whole fleet shares
+one event loop.  This module scales the simulation out the way the paper's
+traffic patterns allow: cross-partition interactions (UBF ident queries,
+portal forwards, job transfers, dead-host purges) are *narrow*, so
+partitions/zones can become independently steppable **shards** synchronized
+only at epoch boundaries — conservative parallel discrete-event simulation
+with the cross-shard message latency as the lookahead.
+
+The protocol (DESIGN.md "Sharded simulation architecture"):
+
+* the unit of simulation is a **zone**: an object owning its own state
+  (scheduler, nodes, RNG substream) that talks to other zones *only*
+  through :class:`ShardMessage` values sent via its :class:`Outbox`;
+* a **shard** hosts one or more zones on one :class:`~repro.sim.engine.
+  Engine`; every cross-zone message — even between zones of the same
+  shard — is collected at the epoch barrier, so zone behaviour is
+  independent of how zones are packed onto shards;
+* shards advance in bounded windows (**epochs**) of ``window`` virtual
+  seconds.  Messages must be delivered at least ``window`` after they are
+  sent (validated, :class:`MergeProtocolError` otherwise), so a message
+  sent during an epoch can never be due inside that same epoch;
+* at each barrier the collected messages are sorted by
+  ``(deliver_time, src_zone, per-src sequence)`` — a key that is a pure
+  function of simulation content, never of sharding — and injected into
+  the destination shard's engine *before* the next epoch runs.  Engine
+  ties at equal virtual time break by insertion order, so the injection
+  order fixes the execution order identically in every configuration.
+
+Consequently a K-shard run is event-for-event identical to the
+single-engine reference (``n_shards=1``: every zone on one event loop) and
+to itself at any worker count; the property suite and benchmark E28 assert
+exactly that, digest-for-digest.
+
+Execution backends: **serial** (shards stepped round-robin in-process) and
+**multiprocessing** (``workers=N``: persistent worker processes each owning
+a contiguous slice of shards, exchanging only pickled messages and stats
+per epoch — shard state never crosses a process boundary after build).  A
+crashed worker is surfaced as *fenced* shards in the report, mirroring the
+node-fencing semantics of the cluster itself: survivors keep stepping,
+messages to fenced shards are counted and dropped, and ``report.ok`` turns
+False.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing as mp
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Protocol
+
+from repro.sim.engine import Engine
+from repro.sim.metrics import MetricSet
+
+#: histogram buckets for merge-barrier waits (wall seconds — these are
+#: host-time stalls, not virtual time, hence the sub-second range)
+BARRIER_BUCKETS = (1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0)
+
+
+class MergeProtocolError(RuntimeError):
+    """A zone violated the epoch/merge contract (e.g. latency < window)."""
+
+
+@dataclass(frozen=True)
+class ShardMessage:
+    """One cross-zone message, the only coupling between zones.
+
+    ``(deliver_time, src, seq)`` is the deterministic merge key: ``seq`` is
+    a per-source-zone counter stamped by the :class:`Outbox`, so the key
+    depends only on what the simulation did — never on shard packing or
+    worker scheduling.  Payloads must be picklable and should be plain
+    tuples of primitives (they cross process boundaries under the
+    multiprocessing backend).
+    """
+
+    dst: int
+    deliver_time: float
+    kind: str
+    payload: tuple
+    src: int = -1
+    seq: int = -1
+
+
+class Outbox:
+    """Per-zone message sender; stamps the deterministic merge key."""
+
+    def __init__(self, zone_id: int, min_latency: float):
+        self.zone_id = zone_id
+        self.min_latency = min_latency
+        self._seq = 0
+        self._pending: list[ShardMessage] = []
+        #: the hosting shard keeps this pointed at its engine clock
+        self.now: Callable[[], float] = lambda: 0.0
+
+    def send(self, dst: int, kind: str, payload: tuple,
+             delay: float | None = None) -> ShardMessage:
+        """Queue a message to zone *dst*, delivered ``delay`` (default: the
+        minimum cross-shard latency) virtual seconds from now."""
+        if delay is None:
+            delay = self.min_latency
+        if delay < self.min_latency:
+            raise MergeProtocolError(
+                f"zone {self.zone_id}: delay {delay} below the cross-shard "
+                f"minimum latency {self.min_latency} (= epoch window)")
+        msg = ShardMessage(dst=dst, deliver_time=self.now() + delay,
+                           kind=kind, payload=payload, src=self.zone_id,
+                           seq=self._seq)
+        self._seq += 1
+        self._pending.append(msg)
+        return msg
+
+    def drain(self) -> list[ShardMessage]:
+        """Take (and clear) everything sent since the last drain."""
+        out, self._pending = self._pending, []
+        return out
+
+
+class SimZone(Protocol):
+    """What a zone must implement to run under :class:`ShardedEngine`.
+
+    Zones own all their mutable state and may interact with the rest of
+    the world only through the :class:`Outbox` handed to :meth:`bind`.
+    """
+
+    zone_id: int
+
+    def bind(self, engine: Engine, outbox: Outbox) -> None:
+        """Attach to the hosting shard's engine; schedule initial events."""
+
+    def handle(self, msg: ShardMessage) -> None:
+        """Process one delivered cross-zone message (at its deliver time)."""
+
+    def quiescent(self) -> bool:
+        """True when the zone will schedule no further work unprompted."""
+
+    def stats(self) -> dict:
+        """Cheap per-epoch counters (merged into the shard's stats)."""
+
+    def fingerprint(self) -> dict:
+        """Deterministic end-of-run identity record (digests + totals)."""
+
+
+class ShardHost:
+    """One shard: an :class:`Engine` hosting one or more zones.
+
+    Lives in the coordinating process under the serial backend and inside
+    a worker process under multiprocessing — either way the epoch sequence
+    it executes is identical.
+    """
+
+    def __init__(self, shard_id: int, zones: list[SimZone],
+                 min_latency: float):
+        self.shard_id = shard_id
+        self.engine = Engine()
+        self.zones = {z.zone_id: z for z in zones}
+        self.outboxes: dict[int, Outbox] = {}
+        for z in zones:
+            box = Outbox(z.zone_id, min_latency)
+            box.now = lambda: self.engine.now
+            self.outboxes[z.zone_id] = box
+            z.bind(self.engine, box)
+        self._events_at_last_epoch = 0
+
+    def deliver(self, msgs: list[ShardMessage]) -> None:
+        """Inject merged messages (already sorted by the deterministic key)
+        ahead of the epoch, fixing their tie order on the engine heap."""
+        for m in msgs:
+            zone = self.zones[m.dst]
+            self.engine.at(m.deliver_time, lambda z=zone, m=m: z.handle(m))
+
+    def advance(self, until: float) -> tuple[list[ShardMessage], dict]:
+        """Run the local engine to the epoch end; return outgoing messages
+        and per-epoch stats.  Outgoing delivery times are validated against
+        the barrier (the conservative-lookahead contract)."""
+        t0 = time.perf_counter()
+        self.engine.run(until=until)
+        out: list[ShardMessage] = []
+        for box in self.outboxes.values():
+            out.extend(box.drain())
+        for m in out:
+            if m.deliver_time < until:
+                raise MergeProtocolError(
+                    f"zone {m.src} sent a message due {m.deliver_time} "
+                    f"before the epoch barrier {until}")
+        events = self.engine.events_processed
+        stats = {
+            "events": events - self._events_at_last_epoch,
+            "events_total": events,
+            "pending": self.engine.pending,
+            "quiescent": all(z.quiescent() for z in self.zones.values())
+            and self.engine.pending == 0,
+            "msgs_out": len(out),
+            "wall_s": time.perf_counter() - t0,
+        }
+        self._events_at_last_epoch = events
+        return out, stats
+
+    def fingerprints(self) -> list[dict]:
+        """Per-zone identity records, in zone order."""
+        return [self.zones[z].fingerprint() for z in sorted(self.zones)]
+
+    def zone_stats(self) -> list[dict]:
+        """Per-zone counter snapshots, in zone order."""
+        return [self.zones[z].stats() for z in sorted(self.zones)]
+
+
+def merge_sort_key(msg: ShardMessage) -> tuple[float, int, int]:
+    """The deterministic merge order: (deliver time, src zone, sequence)."""
+    return (msg.deliver_time, msg.src, msg.seq)
+
+
+@dataclass
+class ShardReport:
+    """What a :meth:`ShardedEngine.run` produced."""
+
+    epochs: int = 0
+    total_events: int = 0
+    wall_s: float = 0.0
+    #: per-zone identity records (sorted by zone id); equality across two
+    #: runs is the bit-identity check E28 and the property suite use
+    zones: list[dict] = field(default_factory=list)
+    #: per-zone counter snapshots (sorted by zone id)
+    zone_stats: list[dict] = field(default_factory=list)
+    per_shard: dict[int, dict] = field(default_factory=dict)
+    msgs_routed: int = 0
+    msgs_dropped_fenced: int = 0
+    fenced_shards: list[int] = field(default_factory=list)
+    final_time: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """True when every shard survived to quiescence."""
+        return not self.fenced_shards
+
+    @property
+    def digest(self) -> str:
+        """One stable hex digest over all per-zone identity records."""
+        h = hashlib.blake2b(digest_size=16)
+        for z in self.zones:
+            for k in sorted(z):
+                h.update(f"{k}={z[k]!r};".encode())
+            h.update(b"|")
+        return h.hexdigest()
+
+    @property
+    def events_per_sec(self) -> float:
+        """Aggregate simulated events per wall second."""
+        return self.total_events / self.wall_s if self.wall_s else 0.0
+
+
+def _worker_main(conn, worker_id: int,
+                 assignments: list[tuple[int, list]],
+                 min_latency: float) -> None:
+    """Worker process: build the assigned shards, then step epochs on
+    command until told to finish.  Only messages and stats cross the pipe;
+    shard state stays resident here for the whole run (pickle-light)."""
+    try:
+        hosts = {}
+        for shard_id, factories in assignments:
+            zones = [f() for f in factories]
+            hosts[shard_id] = ShardHost(shard_id, zones, min_latency)
+        conn.send(("ready", worker_id))
+        while True:
+            cmd = conn.recv()
+            if cmd[0] == "advance":
+                _, until, inbound = cmd
+                reply = {}
+                t0 = time.perf_counter()
+                for shard_id in sorted(hosts):
+                    host = hosts[shard_id]
+                    host.deliver(inbound.get(shard_id, []))
+                    reply[shard_id] = host.advance(until)
+                conn.send(("ok", reply, time.perf_counter() - t0))
+            elif cmd[0] == "finish":
+                conn.send(("done", {
+                    sid: (h.fingerprints(), h.zone_stats())
+                    for sid, h in hosts.items()}))
+                return
+    except BaseException as exc:  # surfaced as fenced shards by the parent
+        try:
+            conn.send(("error", repr(exc)))
+        except Exception:
+            pass
+        raise
+
+
+class ShardedEngine:
+    """Epoch-synchronized shards with a deterministic cross-shard merge.
+
+    Parameters
+    ----------
+    zone_factories:
+        One zero-argument callable per zone, returning a :class:`SimZone`
+        with its ``zone_id`` set.  Factories (not live zones) are what the
+        multiprocessing backend hands to workers, so build cost and state
+        stay worker-local.
+    n_shards:
+        Zones are packed onto this many shards in contiguous blocks.
+        ``n_shards=1`` *is* the single-engine reference: every zone on one
+        event loop, same merge protocol.
+    window:
+        Epoch length in virtual seconds; also the minimum cross-shard
+        message latency (the conservative lookahead).
+    workers:
+        ``None``/``0`` — serial in-process backend.  ``N >= 1`` — N
+        persistent worker processes, each owning a contiguous block of
+        shards.  Trace output is identical either way.
+    metrics:
+        Optional :class:`~repro.sim.metrics.MetricSet`; per-shard events/
+        sec gauges, cross-shard message counters and the merge-barrier
+        wait histogram land here (rendered by
+        :func:`repro.obs.dashboard.shard_posture`).
+    """
+
+    def __init__(self, zone_factories: list[Callable[[], SimZone]],
+                 *, n_shards: int, window: float,
+                 workers: int | None = None,
+                 metrics: MetricSet | None = None):
+        if n_shards < 1 or n_shards > len(zone_factories):
+            raise ValueError(
+                f"n_shards {n_shards} not in [1, {len(zone_factories)}]")
+        if window <= 0:
+            raise ValueError("window must be positive")
+        self.n_zones = len(zone_factories)
+        self.n_shards = n_shards
+        self.window = window
+        self.workers = int(workers or 0)
+        self.metrics = metrics if metrics is not None else MetricSet()
+        # contiguous block packing: shard j hosts zones [lo, hi)
+        self._assignment: list[tuple[int, list]] = []
+        per = self.n_zones / n_shards
+        self._zone_to_shard: dict[int, int] = {}
+        for j in range(n_shards):
+            lo, hi = round(j * per), round((j + 1) * per)
+            self._assignment.append((j, list(zone_factories[lo:hi])))
+            for z in range(lo, hi):
+                self._zone_to_shard[z] = j
+        self.fenced_shards: set[int] = set()
+        self._barrier_wait = self.metrics.histogram(
+            "shard_barrier_wait_seconds", buckets=BARRIER_BUCKETS)
+
+    # -- backends ---------------------------------------------------------
+
+    def run(self, until: float | None = None,
+            max_epochs: int | None = None) -> ShardReport:
+        """Advance all shards epoch by epoch until quiescence (or *until*).
+
+        Quiescence: every surviving shard reports an empty heap and
+        quiescent zones, and no messages are in flight.
+        """
+        if self.workers:
+            return self._run_mp(until, max_epochs)
+        return self._run_serial(until, max_epochs)
+
+    def _epoch_ends(self, until: float | None, max_epochs: int | None):
+        k = 0
+        while (max_epochs is None or k < max_epochs) and \
+                (until is None or k * self.window < until):
+            end = (k + 1) * self.window
+            if until is not None:
+                end = min(end, until)
+            yield end
+            k += 1
+
+    def _route(self, outgoing: list[ShardMessage],
+               report: ShardReport) -> dict[int, list[ShardMessage]]:
+        """Sort by the deterministic merge key and bucket per target shard;
+        messages to fenced shards are counted and dropped (never silent)."""
+        outgoing.sort(key=merge_sort_key)
+        inbound: dict[int, list[ShardMessage]] = {}
+        dropped = self.metrics.counter("shard_msgs_dropped_fenced")
+        for m in outgoing:
+            shard = self._zone_to_shard[m.dst]
+            if shard in self.fenced_shards:
+                dropped.inc()
+                report.msgs_dropped_fenced += 1
+                continue
+            inbound.setdefault(shard, []).append(m)
+            report.msgs_routed += 1
+            self.metrics.counter("shard_msgs_total", kind=m.kind).inc()
+        return inbound
+
+    def _note_epoch(self, stats_by_shard: dict[int, dict],
+                    walls: dict[int, float]) -> None:
+        """Fold one epoch's per-shard stats into the metric set."""
+        if walls:
+            slowest = max(walls.values())
+            for key, wall in walls.items():
+                wait = slowest - wall
+                self._barrier_wait.observe(wait)
+                self.metrics.samples("shard_barrier_wait").add(wait)
+        for sid, st in stats_by_shard.items():
+            g = self.metrics.gauge("shard_events_per_sec", shard=sid)
+            busy = self.metrics.gauge("shard_busy_wall_seconds", shard=sid)
+            busy.inc(st["wall_s"])
+            if busy.value > 0:
+                g.set(st["events_total"] / busy.value)
+            self.metrics.gauge("shard_pending_events", shard=sid).set(
+                st["pending"])
+
+    def _run_serial(self, until, max_epochs) -> ShardReport:
+        hosts = {sid: ShardHost(sid, [f() for f in factories], self.window)
+                 for sid, factories in self._assignment}
+        report = ShardReport()
+        t_start = time.perf_counter()
+        inbound: dict[int, list[ShardMessage]] = {}
+        for end in self._epoch_ends(until, max_epochs):
+            outgoing: list[ShardMessage] = []
+            stats_by_shard: dict[int, dict] = {}
+            walls: dict[int, float] = {}
+            for sid in sorted(hosts):
+                host = hosts[sid]
+                host.deliver(inbound.get(sid, []))
+                out, stats = host.advance(end)
+                outgoing.extend(out)
+                stats_by_shard[sid] = stats
+                walls[sid] = stats["wall_s"]
+            report.epochs += 1
+            report.final_time = end
+            self._note_epoch(stats_by_shard, walls)
+            inbound = self._route(outgoing, report)
+            if not inbound and all(s["quiescent"]
+                                   for s in stats_by_shard.values()):
+                break
+        report.total_events = sum(h.engine.events_processed
+                                  for h in hosts.values())
+        for sid in sorted(hosts):
+            report.zones.extend(hosts[sid].fingerprints())
+            report.zone_stats.extend(hosts[sid].zone_stats())
+            report.per_shard[sid] = {
+                "events": hosts[sid].engine.events_processed,
+                "zones": sorted(hosts[sid].zones),
+            }
+        report.zones.sort(key=lambda z: z["zone"])
+        report.zone_stats.sort(key=lambda z: z["zone"])
+        report.wall_s = time.perf_counter() - t_start
+        report.fenced_shards = sorted(self.fenced_shards)
+        return report
+
+    def _run_mp(self, until, max_epochs) -> ShardReport:
+        ctx = mp.get_context()
+        n_workers = min(self.workers, self.n_shards)
+        # contiguous worker blocks over the shard list
+        per = self.n_shards / n_workers
+        procs: list[tuple[mp.Process, object, list[int]]] = []
+        shard_to_worker: dict[int, int] = {}
+        for w in range(n_workers):
+            lo, hi = round(w * per), round((w + 1) * per)
+            mine = self._assignment[lo:hi]
+            parent, child = ctx.Pipe()
+            p = ctx.Process(
+                target=_worker_main, name=f"shard-worker-{w}",
+                args=(child, w, mine, self.window),
+                daemon=True)
+            p.start()
+            child.close()
+            procs.append((p, parent, [sid for sid, _ in mine]))
+            for sid, _ in mine:
+                shard_to_worker[sid] = w
+        report = ShardReport()
+        t_start = time.perf_counter()
+        live = set(range(n_workers))
+        events_total_by_shard: dict[int, int] = {}
+
+        def fence_worker(w: int, why: str) -> None:
+            live.discard(w)
+            for sid in procs[w][2]:
+                self.fenced_shards.add(sid)
+                self.metrics.counter("shard_fenced_total").inc()
+            report.fenced_shards = sorted(self.fenced_shards)
+
+        for w in range(n_workers):
+            try:
+                msg = procs[w][1].recv()
+                if msg[0] != "ready":
+                    fence_worker(w, msg[1])
+            except (EOFError, OSError):
+                fence_worker(w, "died during build")
+
+        inbound: dict[int, list[ShardMessage]] = {}
+        for end in self._epoch_ends(until, max_epochs):
+            if not live:
+                break
+            for w in sorted(live):
+                per_worker = {sid: inbound.get(sid, [])
+                              for sid in procs[w][2]}
+                try:
+                    procs[w][1].send(("advance", end, per_worker))
+                except (BrokenPipeError, OSError):
+                    fence_worker(w, "pipe broke on send")
+            outgoing: list[ShardMessage] = []
+            stats_by_shard: dict[int, dict] = {}
+            walls: dict[int, float] = {}
+            for w in sorted(live):
+                try:
+                    msg = procs[w][1].recv()
+                except (EOFError, OSError):
+                    fence_worker(w, "died mid-epoch")
+                    continue
+                if msg[0] != "ok":
+                    fence_worker(w, msg[1])
+                    continue
+                _, reply, wall = msg
+                walls[w] = wall
+                for sid, (out, stats) in reply.items():
+                    outgoing.extend(out)
+                    stats_by_shard[sid] = stats
+                    events_total_by_shard[sid] = stats["events_total"]
+            report.epochs += 1
+            report.final_time = end
+            self._note_epoch(stats_by_shard, walls)
+            inbound = self._route(outgoing, report)
+            if not inbound and stats_by_shard and \
+                    all(s["quiescent"] for s in stats_by_shard.values()):
+                break
+
+        for w in sorted(live):
+            try:
+                procs[w][1].send(("finish",))
+                msg = procs[w][1].recv()
+                if msg[0] != "done":
+                    fence_worker(w, msg[1])
+                    continue
+                for sid, (prints, stats) in msg[1].items():
+                    report.zones.extend(prints)
+                    report.zone_stats.extend(stats)
+                    report.per_shard[sid] = {
+                        "events": events_total_by_shard.get(sid, 0),
+                        "zones": [z["zone"] for z in prints],
+                    }
+            except (EOFError, OSError, BrokenPipeError):
+                fence_worker(w, "died at finish")
+        for p, conn, _ in procs:
+            conn.close()
+            p.join(timeout=10)
+            if p.is_alive():  # pragma: no cover - stuck worker
+                p.terminate()
+        report.zones.sort(key=lambda z: z["zone"])
+        report.zone_stats.sort(key=lambda z: z["zone"])
+        report.total_events = sum(events_total_by_shard.values())
+        report.wall_s = time.perf_counter() - t_start
+        report.fenced_shards = sorted(self.fenced_shards)
+        return report

@@ -91,3 +91,45 @@ class TestDashboard:
         text = ops_dashboard(bare)
         assert "Event log not attached" in text
         assert "## Trace activity" not in text
+
+
+class TestShardPosture:
+    """Per-shard posture section for sharded simulation runs (E28)."""
+
+    def _sharded_run(self, churn=0.0):
+        from repro.obs import shard_posture
+        from repro.sched import make_zone_factories
+        from repro.sim import ShardedEngine
+        eng = ShardedEngine(
+            make_zone_factories(4, seed=7, nodes_per_zone=4,
+                                jobs_per_zone=60, chunk_jobs=30,
+                                churn_per_chunk=churn),
+            n_shards=2, window=5.0)
+        report = eng.run()
+        return shard_posture(report, eng.metrics), report
+
+    def test_renders_shard_table_and_traffic(self):
+        text, report = self._sharded_run()
+        assert "## Sharded simulation posture" in text
+        assert "state ok" in text
+        assert f"{report.total_events} events" in text
+        for sid in (0, 1):
+            assert f"| {sid} | up |" in text
+        assert "shard_msgs_total (kind=job_transfer)" in text
+        assert "Merge-barrier wait (s):" in text
+
+    def test_fenced_shard_surfaces_as_degraded(self):
+        from repro.obs import shard_posture
+        from repro.sim import ShardedEngine
+        from repro.sim.metrics import MetricSet
+        import functools
+        from tests.sim.test_sharded import TokenZone
+        facs = [functools.partial(TokenZone, z, 4) for z in range(4)]
+        facs[3] = functools.partial(TokenZone, 3, 4, crash_at=10.0)
+        eng = ShardedEngine(facs, n_shards=2, window=5.0, workers=2,
+                            metrics=MetricSet())
+        report = eng.run(max_epochs=30)
+        text = shard_posture(report, eng.metrics)
+        assert "DEGRADED (fenced shards)" in text
+        assert "| 1 | FENCED |" in text
+        assert "| 0 | up |" in text

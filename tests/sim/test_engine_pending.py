@@ -60,11 +60,25 @@ class TestCompaction:
         events = [eng.at(float(i), noop) for i in range(100)]
         for ev in events[:80]:
             eng.cancel(ev)
-        # compaction keeps tombstones bounded by half the (live) heap —
-        # the heap must have shrunk far below the 100 entries pushed
-        assert eng._cancelled_in_heap <= len(eng._heap) // 2
+        # cancel() itself is O(1): tombstones stay put until the next
+        # schedule/drain boundary runs the amortized sweep
+        assert len(eng._heap) == 100
+        assert eng.compactions == 0
+        eng.at(200.0, noop)  # boundary: sweep triggers here
+        assert eng.compactions == 1
+        assert eng._cancelled_in_heap == 0
         assert len(eng._heap) <= 30
-        assert eng.pending == 20
+        assert eng.pending == 21
+
+    def test_run_boundary_compacts_before_draining(self):
+        eng = Engine()
+        events = [eng.at(float(i), noop) for i in range(100)]
+        for ev in events[:90]:
+            eng.cancel(ev)
+        eng.run()
+        assert eng.compactions == 1
+        assert eng.events_processed == 10
+        assert eng.pending == 0
 
     def test_compaction_preserves_firing_order(self):
         eng = Engine()
@@ -91,3 +105,51 @@ class TestCompaction:
         eng.run()
         assert fired == survivors
         assert eng.pending == 0
+
+
+class TestCancelStorm:
+    """Node-churn regression: storms of cancel+reschedule must stay linear.
+
+    The churn shape mirrors what ``Scheduler.fail_node`` + requeue does at
+    fleet scale: every requeued job cancels its completion timer and
+    schedules a new one.  The old implementation compacted synchronously
+    inside ``cancel()``; this pins the amortized-sweep contract instead —
+    O(1) cancels, a bounded number of O(n) sweeps, a heap proportional to
+    live events — which together rule out the O(n²) blowup.
+    """
+
+    def test_storm_keeps_heap_linear_and_sweeps_bounded(self):
+        eng = Engine()
+        live = [eng.at(1000.0 + i, noop) for i in range(2_000)]
+        cancels = 0
+        for wave in range(40):  # 40 churn waves of 1000 cancel+reschedule
+            for i in range(1_000):
+                victim = live[(wave * 997 + i * 31) % len(live)]
+                if victim.cancelled:
+                    continue
+                eng.cancel(victim)
+                cancels += 1
+                live[(wave * 997 + i * 31) % len(live)] = eng.at(
+                    2000.0 + wave + i * 1e-3, noop)
+        # the heap never holds more than live + the tombstones one sweep
+        # threshold allows — i.e. it stays O(live), not O(total cancels)
+        assert len(eng._heap) <= 2 * eng.pending + 64
+        assert eng.pending == 2_000
+        # each sweep needs >= len(heap)//2 fresh tombstones, so ~40k
+        # cancels amortize to a handful of sweeps, not one per storm wave
+        assert 1 <= eng.compactions <= cancels // 500
+        eng.run()
+        assert eng.pending == 0
+        assert eng.events_processed == 2_000
+
+    def test_pure_cancel_storm_never_rebuilds_inline(self):
+        eng = Engine()
+        events = [eng.at(float(i), noop) for i in range(50_000)]
+        for ev in events:
+            eng.cancel(ev)
+        # no schedule/drain boundary was crossed: cancel() did zero
+        # compaction work of its own
+        assert eng.compactions == 0
+        assert eng.pending == 0
+        eng.run()
+        assert eng.events_processed == 0
