@@ -1,0 +1,67 @@
+"""Campaign presets: the full configuration and its single-knob ablations.
+
+The campaign's argument structure mirrors the paper's: Section IV claims
+each mechanism closes a class of cross-user attack, so the ``full`` preset
+(the LLSC deployment) must block every numbered attacker model, and every
+ablation — one mechanism removed, everything else intact — must flip at
+least one attack from BLOCKED to SUCCEEDED.  That flip is the executable
+form of the paper's "what if you remove X" argument: it proves the
+mechanism under ablation was the *load-bearing* control for those attacks,
+not redundant with the rest of the stack.
+
+``baseline`` (the stock open-cluster posture) bookends the matrix: every
+attack is expected to succeed there.
+
+Keys are CLI/report identifiers (``python -m repro.attacks campaign
+--preset no-ubf``); values are plain :class:`SeparationConfig` objects
+renamed to their key so reports and metrics read cleanly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.core.config import SeparationConfig
+from repro.core.presets import BASELINE, LLSC
+from repro.sched.policies import NodeSharing
+
+
+def _p(key: str, **changes) -> SeparationConfig:
+    return replace(LLSC, name=key, **changes)
+
+
+#: preset key -> configuration the campaign builds clusters from.
+CAMPAIGN_PRESETS: dict[str, SeparationConfig] = {
+    # the paper's full deployment: every Section IV measure on
+    "full": replace(LLSC, name="full"),
+    # stock academic cluster: every measure off (all attacks succeed)
+    "baseline": replace(BASELINE, name="baseline"),
+    # -- single-mechanism ablations (each must flip >=1 attack) ------------
+    "no-hidepid": _p("no-hidepid", hidepid=0, seepid_group=False),
+    "no-pam-slurm": _p("no-pam-slurm", pam_slurm=False),
+    "shared-nodes": _p("shared-nodes", node_policy=NodeSharing.SHARED),
+    "no-fph": _p("no-fph", file_permission_handler=False, smask=0o000),
+    "no-acl-restriction": _p("no-acl-restriction", restrict_acls=False),
+    "no-ubf": _p("no-ubf", ubf=False),
+    "fail-open": _p("fail-open", ubf_fail_open=True),
+    "no-portal-auth": _p("no-portal-auth", portal_auth=False),
+    "no-gpu-scrub": _p("no-gpu-scrub", gpu_scrub=False),
+    # the classic open filesystem posture: user-owned 0755 homes and no
+    # permission handler (two layers — the matrix shows both must fall
+    # before the transfer attacks get through)
+    "open-homes": _p("open-homes", file_permission_handler=False,
+                     smask=0o000, root_owned_homes=False, home_mode=0o755),
+}
+
+#: the ablation keys (everything that is neither bookend).
+ABLATIONS: tuple[str, ...] = tuple(
+    k for k in CAMPAIGN_PRESETS if k not in ("full", "baseline"))
+
+
+def preset(key: str) -> SeparationConfig:
+    """Resolve a preset key, with a helpful error for typos."""
+    try:
+        return CAMPAIGN_PRESETS[key]
+    except KeyError:
+        known = ", ".join(sorted(CAMPAIGN_PRESETS))
+        raise KeyError(f"unknown preset {key!r} (known: {known})") from None

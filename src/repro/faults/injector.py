@@ -53,6 +53,11 @@ class FaultKind(enum.Enum):
     #: the node's heartbeat path flaps: each heartbeat is dropped with a
     #: seeded probability (``flake_rate``) while the node otherwise works
     NODE_FLAP = "node-flap"
+    #: the host's identd lies: ident queries about its ports return a
+    #: forged (uid, egid, groups) instead of the socket owner's — the
+    #: compromised-initiator scenario the UBF's local cross-check
+    #: ("the same query run locally") exists to catch
+    IDENT_SPOOF = "ident-spoof"
 
 
 @dataclass(eq=False)  # identity semantics: each injection is its own fault
@@ -162,6 +167,26 @@ class FaultInjector:
                 fault.params["fail_attempts"] = remaining - 1
                 return False
         return True
+
+    def spoofed_reply(self, host: str):
+        """The forged identd answer *host* would give, or None when honest.
+
+        An ``IDENT_SPOOF`` fault models a compromised initiating host whose
+        identd answers with an attacker-chosen identity (params ``uid``,
+        ``egid``, ``groups``) instead of the true socket owner.  The fabric
+        still delivers the reply — detecting the lie is the *receiving*
+        daemon's job, by cross-checking against the kernel-stamped uid on
+        the connection packet itself.
+        """
+        for fault in self.active(FaultKind.IDENT_SPOOF, host):
+            from repro.net.ident import IdentReply
+            uid = int(fault.params.get("uid", 0))
+            egid = int(fault.params.get("egid", uid))
+            groups = frozenset(
+                int(g) for g in fault.params.get("groups", (egid,)))
+            self.metrics.counter("ident_spoofed_replies").inc()
+            return IdentReply(uid=uid, egid=egid, groups=groups)
+        return None
 
     def drop_packet(self, dst_host: str) -> bool:
         """Seeded-random loss draw for one data packet toward *dst_host*."""

@@ -39,6 +39,7 @@ class EventKind(enum.Enum):
     ORACLE = "oracle-violation"  # separation invariant violated (repro.oracle)
     NODE_LIFECYCLE = "node-lifecycle"  # fencing/remediation/rejoin transitions
     ALERT = "alert"  # declarative alert rule fired (repro.obs.alerts)
+    ATTACK = "attack"  # scripted red-team probe ran (repro.attacks campaign)
 
 
 @dataclass(frozen=True)
@@ -154,10 +155,12 @@ def detect_probe_patterns(log: SecurityEventLog, *,
         # ADMIN is audit, not denial; DEGRADED blames infrastructure, not
         # the principal; ORACLE blames the *enforcement code*;
         # NODE_LIFECYCLE blames hardware; ALERT is a derived signal over
-        # events already counted — none should trip the scanner heuristic.
+        # events already counted; ATTACK marks a *scripted* campaign probe
+        # whose denials are already recorded under their own kinds — none
+        # should trip the scanner heuristic.
         if e.kind not in (EventKind.ADMIN, EventKind.DEGRADED,
                           EventKind.ORACLE, EventKind.NODE_LIFECYCLE,
-                          EventKind.ALERT):
+                          EventKind.ALERT, EventKind.ATTACK):
             per_subject[e.subject_uid].append(e)
     alerts = []
     for uid, evs in per_subject.items():

@@ -68,8 +68,12 @@ def remote_ident_query(fabric: Fabric, from_host: str, target_host: str,
     """The receiving system's daemon querying the initiating system.
 
     Counts one round trip in the fabric metrics (priced by the E8 cost
-    model).  The responder is trusted — cluster hosts run the same system
-    image, matching the paper's trust model.
+    model).  The responder is *normally* trusted — cluster hosts run the
+    same root-administered system image, matching the paper's trust model
+    — but an ``IDENT_SPOOF`` fault (a compromised host) makes it lie; the
+    paper's "and the same query run locally" clause is the querying
+    daemon's defence, cross-checking the answer against the kernel-stamped
+    uid on the packet.
 
     Raises :class:`IdentUnavailable` when the fabric's fault injector says
     the target host (or its identd) cannot answer right now; the attempt is
@@ -80,6 +84,13 @@ def remote_ident_query(fabric: Fabric, from_host: str, target_host: str,
     if faults is not None and not faults.ident_attempt_ok(target_host):
         fabric.metrics.counter("ident_query_failures").inc()
         raise IdentUnavailable(f"ident query to {target_host} unanswered")
+    if faults is not None:
+        forged = faults.spoofed_reply(target_host)
+        if forged is not None:
+            # a compromised responder still costs a round trip; the lie is
+            # for the querying daemon's local cross-check to catch
+            fabric.metrics.counter("ident_round_trips").inc()
+            return forged
     responder = IdentService(fabric.host(target_host))
     fabric.metrics.counter("ident_round_trips").inc()
     return responder.query_local(proto, port)

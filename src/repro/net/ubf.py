@@ -130,6 +130,9 @@ class DecisionReason(enum.Enum):
     CROSS_USER = "cross-user"
     UNIDENTIFIABLE = "unidentifiable"
     DEGRADED = "degraded"
+    #: the remote identd's answer contradicts the kernel-stamped uid on
+    #: the packet — a forged/compromised responder; always a DROP
+    IDENT_MISMATCH = "ident-mismatch"
 
 
 class ShardedVerdictCache:
@@ -280,6 +283,9 @@ class UBFDaemon:
     _allow_gen: int = field(default=-1, repr=False)
     #: logical decision clock: one tick per decided flow (cache TTL unit)
     _tick: int = field(default=0, repr=False)
+    #: account-database generation the decision caches were filled under;
+    #: a mismatch at decide time flushes them (see _revalidate_generation)
+    _cache_gen: int = field(default=-1, repr=False)
     _crashed_handler: object | None = field(default=None, repr=False)
 
     def __post_init__(self) -> None:
@@ -399,6 +405,35 @@ class UBFDaemon:
         self.fabric.metrics.counter("ubf_cache_evictions_total",
                                     reason=reason).inc()
 
+    def _revalidate_generation(self) -> None:
+        """Flush cached verdicts minted under an older account database.
+
+        The allow-sets behind *full* decisions are generation-invalidated,
+        but a cached verdict is a frozen conclusion: without this check a
+        uid removed from a project group keeps replaying its pre-revocation
+        cross-user ACCEPT out of the decision cache for as long as the
+        entry lives (indefinitely in the standard tier, which has no TTL).
+        One integer compare per decide call; on a generation change every
+        decision-cache variant is dropped and the purge is counted under
+        ``ubf_cache_purged_total{reason="membership-change"}``.
+        """
+        gen = self.userdb.generation
+        if gen == self._cache_gen:
+            return
+        purged = len(self._cache) + len(self._sharded)
+        if self._columnar is not None:
+            purged += len(self._columnar)
+        self._cache.clear()
+        self._sharded.clear()
+        if self._columnar is not None:
+            self._columnar.clear()
+        self._keys_by_host.clear()
+        self._cache_gen = gen
+        if purged:
+            self.fabric.metrics.counter(
+                "ubf_cache_purged_total",
+                reason="membership-change").inc(purged)
+
     def _pre_decide(self, pkt: Packet, local_ident: IdentService
                     ) -> tuple[Verdict | None, IdentReply | None]:
         """The pre-ident phase: listener lookup + cache/root short-circuits.
@@ -406,6 +441,8 @@ class UBFDaemon:
         Returns ``(verdict, listener)``; ``verdict is None`` means the
         packet needs a remote ident exchange before it can be concluded.
         """
+        if self.cache_enabled:
+            self._revalidate_generation()
         self._tick += 1
         flow = pkt.flow
         listener = local_ident.query_local(flow.proto, flow.dst_port)
@@ -444,6 +481,21 @@ class UBFDaemon:
             return self._log(pkt, None, listener.uid, listener.egid,
                              Verdict.DROP, "initiator unidentifiable",
                              DecisionReason.UNIDENTIFIABLE)
+        if pkt.src_uid is not None and initiator.uid != pkt.src_uid:
+            # "…and the same query run locally": the kernel-stamped uid on
+            # the packet is the local half of the paper's double check.  A
+            # responder whose answer contradicts it is forged or
+            # compromised — the claimed identity is worthless, so the flow
+            # is treated as unidentifiable (never cached, always DROP).
+            self.fabric.metrics.counter("ubf_ident_mismatches").inc()
+            if self.oracle is not None:
+                self.oracle.check_ubf_conclude(self, pkt, listener, None,
+                                               Verdict.DROP)
+            return self._log(
+                pkt, None, listener.uid, listener.egid, Verdict.DROP,
+                f"ident reply uid {initiator.uid} contradicts "
+                f"kernel-stamped uid {pkt.src_uid}",
+                DecisionReason.IDENT_MISMATCH)
         rule = self._rule if self.naive else self._rule_indexed
         verdict, reason, code = rule(initiator.uid, initiator.groups,
                                      listener.uid, listener.egid)
@@ -596,6 +648,8 @@ class UBFDaemon:
         if n == 0:
             return out
         metrics = self.fabric.metrics
+        if self.cache_enabled:
+            self._revalidate_generation()
         if self._columnar is None:
             self._columnar = ColumnarVerdictCache(
                 self.cache_capacity if self.cache_capacity is not None
@@ -694,7 +748,7 @@ class UBFDaemon:
         degraded_policy = "fail-open" if self.fail_open else "fail-closed"
         degraded_bit = V_ACCEPT if self.fail_open else V_DROP
         degraded_verdict = Verdict.ACCEPT if self.fail_open else Verdict.DROP
-        n_degraded = n_unident = 0
+        n_degraded = n_unident = n_mismatch = 0
         for gkey, parked in waiters.items():
             if len(parked) > 1:
                 coalesced.inc(len(parked) - 1)
@@ -731,6 +785,17 @@ class UBFDaemon:
                                        uid=-1)
                 continue
             for r in parked:
+                # local half of the paper's double check, same as
+                # _conclude: a reply contradicting the kernel-stamped uid
+                # is forged — treat the row as unidentifiable (DROP)
+                if su[r] != NO_ID and initiator.uid != int(su[r]):
+                    out[r] = V_DROP
+                    n_mismatch += 1
+                    if self.oracle is not None:
+                        self.oracle.check_ubf_conclude(
+                            self, pkts[r], self._listener_reply(lu, lg, r),
+                            None, Verdict.DROP)
+                    continue
                 id_rows.append(r)
                 id_uid.append(initiator.uid)
                 id_reply.append(initiator)
@@ -738,6 +803,9 @@ class UBFDaemon:
                 self.tracer.finish(child, status="ok", uid=initiator.uid)
         count(degraded_verdict.value, DecisionReason.DEGRADED, n_degraded)
         count("drop", DecisionReason.UNIDENTIFIABLE, n_unident)
+        count("drop", DecisionReason.IDENT_MISMATCH, n_mismatch)
+        if n_mismatch:
+            metrics.counter("ubf_ident_mismatches").inc(n_mismatch)
         if not id_rows:
             return counts
 
@@ -972,6 +1040,7 @@ class UBFDaemon:
         self._allow_sets.clear()
         self._allow_arrays.clear()
         self._allow_gen = -1
+        self._cache_gen = -1
 
 
 #: Cost model for experiment E8, in microseconds.  Values are representative

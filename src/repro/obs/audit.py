@@ -48,6 +48,7 @@ _KIND_MAP: dict[EventKind, tuple[str, str]] = {
     EventKind.ORACLE: ("oracle", "violation"),
     EventKind.NODE_LIFECYCLE: ("node", "lifecycle"),
     EventKind.ALERT: ("alert", "fire"),
+    EventKind.ATTACK: ("attack", "probe"),
 }
 
 #: Raw-row opcodes: the first field of every row in the flat

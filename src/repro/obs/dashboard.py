@@ -149,6 +149,37 @@ def shard_posture(report, metrics) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
+def campaign_posture(result) -> str:
+    """Render one attack campaign's outcome as a dashboard section.
+
+    Takes the :class:`~repro.attacks.runner.CampaignResult` a
+    :class:`~repro.attacks.runner.CampaignRunner` returned — the security
+    staff view of a red-team sweep: headline counts (silent crossings
+    first), then per-attack outcome with the attributed blocking mechanism
+    and the causal audit trace to pull with ``audit.by_trace``.
+    """
+    lines = [f"## Attack campaign posture — preset `{result.preset}`", ""]
+    c = result.counts()
+    state = (f"RED ({c['SUCCEEDED']} silent crossings)" if c["SUCCEEDED"]
+             else (f"detected-only ({c['DETECTED']})" if c["DETECTED"]
+                   else "ok"))
+    lines.append(f"{len(result.outcomes)} attacks · "
+                 f"{c['BLOCKED']} blocked · {c['DETECTED']} detected · "
+                 f"{c['SUCCEEDED']} succeeded · state {state}")
+    lines.append("")
+    order = {"SUCCEEDED": 0, "DETECTED": 1, "BLOCKED": 2}
+    rows: list[list[object]] = []
+    for r in sorted(result.outcomes,
+                    key=lambda r: (order[r.outcome.value], r.attack_id)):
+        rows.append([r.attack_id, r.name, r.outcome.value,
+                     r.blocked_by or "-", r.audit_trace or "-",
+                     r.invariant, r.deny_records])
+    lines.append(_md_table(
+        ["attack", "name", "outcome", "blocked by", "trace", "invariant",
+         "denials"], rows))
+    return "\n".join(lines).rstrip() + "\n"
+
+
 def ops_dashboard(cluster, *, window: float | None = None,
                   now: float | None = None, min_denials: int = 5,
                   min_distinct_targets: int = 3) -> str:

@@ -30,7 +30,8 @@ construction; ``tests/oracle/`` pins additivity.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from contextlib import contextmanager
+from dataclasses import dataclass, field
 
 from repro.oracle.invariants import BY_ID, CATALOG, Invariant
 
@@ -51,6 +52,9 @@ class Violation:
     time: float
     subject: str
     detail: str
+    #: attack id (``"A7"``) when the violation surfaced inside an armed
+    #: :meth:`SeparationOracle.attack_context`; ``None`` for organic ones
+    attack: str | None = field(default=None, compare=False)
 
 
 def reference_ubf_verdict(init_uid: int | None,
@@ -138,6 +142,10 @@ class SeparationOracle:
         #: reentrancy guard: a shadow recomputation must not re-enter the
         #: oracle through the hooks on the objects it drives
         self._busy = False
+        #: armed attack id while inside :meth:`attack_context`; violations
+        #: raised in that window are *expected* red-team outcomes — they
+        #: are tagged instead of aborting the campaign via fail-fast
+        self._attack: str | None = None
 
     # -- bookkeeping --------------------------------------------------------
 
@@ -158,6 +166,42 @@ class SeparationOracle:
 
     def violations_for(self, invariant_id: str) -> list[Violation]:
         return [v for v in self.violations if v.invariant == invariant_id]
+
+    def violations_for_attack(self, attack_id: str) -> list[Violation]:
+        """Violations tagged by an armed :meth:`attack_context` window."""
+        return [v for v in self.violations if v.attack == attack_id]
+
+    @property
+    def organic_violations(self) -> list[Violation]:
+        """Violations observed *outside* any attack window.
+
+        The campaign acceptance bar: an attack run is clean when every
+        violation (if any) carries the attack's tag — a breach during
+        benign traffic is a real enforcement failure, never a red-team
+        outcome.
+        """
+        return [v for v in self.violations if v.attack is None]
+
+    @contextmanager
+    def attack_context(self, attack_id: str):
+        """Arm the oracle for a scripted malicious probe.
+
+        Inside the window every violation is tagged with *attack_id* and
+        ``fail_fast`` is suspended: a mechanism that lets the probe
+        through must surface as a *classified outcome* (DETECTED), not as
+        an exception that aborts the rest of the campaign.  Violations
+        still accumulate, count metrics, and emit ``EventKind.ORACLE``
+        events, so the forensic audit plane sees exactly what an operator
+        would.  Windows do not nest — a campaign runs one probe at a time.
+        """
+        if self._attack is not None:
+            raise RuntimeError(
+                f"attack window {self._attack!r} already armed")
+        self._attack = attack_id
+        try:
+            yield self
+        finally:
+            self._attack = None
 
     def summary(self) -> list[dict[str, object]]:
         """One row per catalog invariant: id, title, checks, violations."""
@@ -200,7 +244,7 @@ class SeparationOracle:
         now = self.clock()
         self.violations.append(
             Violation(invariant=invariant_id, time=now, subject=subject,
-                      detail=detail))
+                      detail=detail, attack=self._attack))
         if self.metrics is not None:
             self.metrics.counter("oracle_violations_total",
                                  invariant=invariant_id).inc()
@@ -212,7 +256,7 @@ class SeparationOracle:
             self.events.emit(now, EventKind.ORACLE, uid, subject,
                              f"[{invariant_id}] {detail}",
                              job_id=job_id, node=node)
-        if self.fail_fast:
+        if self.fail_fast and self._attack is None:
             raise SeparationViolation(
                 f"[{invariant_id}] {subject}: {detail}")
 

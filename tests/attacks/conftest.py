@@ -1,0 +1,29 @@
+"""Campaign fixtures: the full attack x preset matrix, run once.
+
+The whole matrix (14 attacks x 12 presets, two clusters each) runs in
+about a second, so the suite executes it a single time per session and
+every test asserts against the shared result.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import run_matrix
+
+
+@pytest.fixture(scope="session")
+def matrix():
+    """attack x preset campaign results, keyed by preset."""
+    return run_matrix()
+
+
+@pytest.fixture(scope="session")
+def full_campaign(matrix):
+    """The ``full``-preset campaign result."""
+    return matrix["full"]
+
+
+def outcome_of(result, attack_id):
+    """The one AttackOutcome for *attack_id* in a CampaignResult."""
+    return next(o for o in result.outcomes if o.attack_id == attack_id)

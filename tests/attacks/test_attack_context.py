@@ -1,0 +1,67 @@
+"""Oracle attack-window semantics: tagging, fail-fast suspension, nesting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.oracle.oracle import SeparationOracle, SeparationViolation
+
+
+def _trip(oracle, invariant="I2", subject="c1->c2", detail="probe"):
+    oracle._violation(invariant, subject, detail)
+
+
+class TestAttackContext:
+    def test_violation_inside_window_is_tagged(self):
+        oracle = SeparationOracle(fail_fast=True)
+        with oracle.attack_context("A7"):
+            _trip(oracle)  # no raise: fail-fast suspended in-window
+        assert [v.attack for v in oracle.violations] == ["A7"]
+        assert oracle.violations_for_attack("A7")
+        assert oracle.organic_violations == []
+
+    def test_violation_outside_window_stays_fail_fast(self):
+        oracle = SeparationOracle(fail_fast=True)
+        with pytest.raises(SeparationViolation):
+            _trip(oracle)
+        assert oracle.organic_violations and \
+            oracle.organic_violations[0].attack is None
+
+    def test_window_disarms_after_exit(self):
+        oracle = SeparationOracle(fail_fast=True)
+        with oracle.attack_context("A1"):
+            pass
+        with pytest.raises(SeparationViolation):
+            _trip(oracle)
+
+    def test_window_disarms_after_probe_exception(self):
+        oracle = SeparationOracle(fail_fast=True)
+        with pytest.raises(ValueError):
+            with oracle.attack_context("A1"):
+                raise ValueError("probe blew up")
+        with pytest.raises(SeparationViolation):
+            _trip(oracle)
+
+    def test_windows_do_not_nest(self):
+        oracle = SeparationOracle()
+        with oracle.attack_context("A1"):
+            with pytest.raises(RuntimeError, match="already armed"):
+                with oracle.attack_context("A2"):
+                    pass
+
+    def test_tags_separate_across_windows(self):
+        oracle = SeparationOracle()
+        with oracle.attack_context("A1"):
+            _trip(oracle, detail="first")
+        with oracle.attack_context("A2"):
+            _trip(oracle, detail="second")
+        assert len(oracle.violations_for_attack("A1")) == 1
+        assert len(oracle.violations_for_attack("A2")) == 1
+
+    def test_metrics_still_counted_in_window(self):
+        from repro.sim.metrics import MetricSet
+        oracle = SeparationOracle(metrics=MetricSet())
+        with oracle.attack_context("A3"):
+            _trip(oracle, invariant="I3")
+        assert oracle.metrics.counter("oracle_violations_total",
+                                      invariant="I3").value == 1

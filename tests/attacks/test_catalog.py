@@ -1,0 +1,72 @@
+"""Catalog sanity: coverage, metadata integrity, preset declarations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.attacks import ABLATIONS, CAMPAIGN_PRESETS, CATALOG, by_id
+from repro.attacks.presets import preset
+
+
+class TestCatalogShape:
+    def test_at_least_twelve_numbered_attacks(self):
+        assert len(CATALOG) >= 12
+
+    def test_ids_are_unique_and_numbered(self):
+        ids = [a.id for a in CATALOG]
+        assert len(set(ids)) == len(ids)
+        assert all(i.startswith("A") and i[1:].isdigit() for i in ids)
+
+    def test_every_paper_mechanism_area_covered(self):
+        """At least one adversary per Section IV-A..G mechanism."""
+        sections = {a.section.split("/")[0] for a in CATALOG}
+        for letter in "ABCDEFG":
+            assert any(s.startswith(f"IV-{letter}") for s in sections), \
+                f"no attack stresses Section IV-{letter}"
+
+    def test_metadata_complete(self):
+        for a in CATALOG:
+            assert a.story != "?" and len(a.story) > 20, a.id
+            assert a.mechanism != "?", a.id
+            assert a.blocked_by != "?", a.id
+            assert a.invariant.startswith("I"), a.id
+            assert a.attacker in ("alice", "bob", "carol", "dave"), a.id
+
+    def test_by_id_resolves_and_rejects(self):
+        assert by_id("a7").id == "A7"
+        with pytest.raises(KeyError, match="A99"):
+            by_id("A99")
+
+
+class TestPresetDeclarations:
+    def test_flipped_by_names_real_presets(self):
+        for a in CATALOG:
+            for key in a.flipped_by + a.detected_in:
+                assert key in CAMPAIGN_PRESETS, f"{a.id} -> {key}"
+
+    def test_every_attack_flips_under_baseline(self):
+        """baseline is the all-off bookend: nothing may stay blocked."""
+        for a in CATALOG:
+            assert "baseline" in a.flipped_by, a.id
+
+    def test_every_ablation_declared_load_bearing(self):
+        """Each ablation must appear in >=1 attack's flip/detect sets."""
+        for key in ABLATIONS:
+            flippers = [a.id for a in CATALOG
+                        if key in a.flipped_by or key in a.detected_in]
+            assert flippers, f"ablation {key} flips no attack"
+
+    def test_full_preset_is_all_mechanisms_on(self):
+        cfg = preset("full")
+        assert cfg.ubf and cfg.pam_slurm and cfg.file_permission_handler
+        assert cfg.hidepid == 2 and cfg.gpu_scrub and cfg.portal_auth
+
+    def test_preset_lookup_rejects_typo(self):
+        with pytest.raises(KeyError, match="no-such"):
+            preset("no-such")
+
+    def test_expected_matrix_is_total(self):
+        for a in CATALOG:
+            for key in CAMPAIGN_PRESETS:
+                assert a.expected(key) in ("BLOCKED", "DETECTED",
+                                           "SUCCEEDED")

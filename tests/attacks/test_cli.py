@@ -1,0 +1,33 @@
+"""CLI smoke tests: list / run / campaign entry points."""
+
+from __future__ import annotations
+
+from repro.attacks.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "A1" in out and "A14" in out and "presets:" in out
+
+    def test_run_single_attack_blocked(self, capsys):
+        assert main(["run", "A6", "--preset", "full"]) == 0
+        out = capsys.readouterr().out
+        assert "BLOCKED" in out and "benign twin : ok" in out
+
+    def test_run_exit_code_reflects_expectation(self, capsys):
+        # A1 is *expected* to succeed under no-hidepid: exit 0
+        assert main(["run", "A1", "--preset", "no-hidepid"]) == 0
+        assert "SUCCEEDED" in capsys.readouterr().out
+
+    def test_campaign_fail_on_success_green_on_full(self, capsys):
+        assert main(["campaign", "--preset", "full",
+                     "--fail-on-success"]) == 0
+        assert "succeeded: 0" in capsys.readouterr().out
+
+    def test_campaign_fail_on_success_red_on_baseline(self, capsys):
+        assert main(["campaign", "--preset", "baseline",
+                     "--fail-on-success"]) == 1
+        err = capsys.readouterr().err
+        assert "silent crossings" in err

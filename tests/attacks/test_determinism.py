@@ -1,0 +1,40 @@
+"""Seed determinism: identical runs, identical classified outcomes.
+
+The campaign inherits the simulator's end-to-end seeding (virtual clock,
+seeded RNGs, ordered data structures), so rerunning any attack under any
+preset must reproduce the same outcome, attribution, and trace ids —
+byte-identical report regeneration depends on it.
+"""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.attacks import CAMPAIGN_PRESETS, CATALOG, CampaignRunner, \
+    run_campaign
+
+_IDS = [a.id for a in CATALOG]
+
+
+class TestDeterminism:
+    def test_full_campaign_rows_identical_across_runs(self):
+        r1 = [o.row() for o in run_campaign("full").outcomes]
+        r2 = [o.row() for o in run_campaign("full").outcomes]
+        assert r1 == r2
+
+    def test_ablation_campaign_identical_across_runs(self):
+        r1 = [o.row() for o in run_campaign("no-ubf").outcomes]
+        r2 = [o.row() for o in run_campaign("no-ubf").outcomes]
+        assert r1 == r2
+
+    @settings(max_examples=12, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(attack_id=st.sampled_from(_IDS),
+           preset_key=st.sampled_from(sorted(CAMPAIGN_PRESETS)))
+    def test_any_attack_any_preset_reproduces(self, attack_id, preset_key):
+        from repro.attacks import by_id
+        attack = by_id(attack_id)
+        first = CampaignRunner(preset_key).run_attack(attack).row()
+        second = CampaignRunner(preset_key).run_attack(attack).row()
+        assert first == second

@@ -1,0 +1,50 @@
+"""Generated report: deterministic rendering and the freshness gate."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.attacks.report import check_report, render_report, write_report
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestRenderDeterminism:
+    def test_two_renders_are_byte_identical(self, matrix):
+        assert render_report(matrix) == render_report(matrix)
+
+    def test_fresh_matrix_renders_identically(self, matrix):
+        """A freshly executed campaign matrix renders the same bytes as a
+        cached one — the rendering has no hidden order or time dependence."""
+        assert render_report(None) == render_report(matrix)
+
+    def test_report_structure(self, matrix):
+        text = render_report(matrix)
+        assert text.startswith("# Attack matrix")
+        assert "GENERATED FILE" in text
+        assert "## Campaign summary - `full` preset" in text
+        assert "## Verdict matrix - attack x preset" in text
+        assert "## Ablation flips" in text
+        for attack_id in ("A1", "A7", "A14"):
+            assert f"| {attack_id} |" in text
+
+
+class TestFreshnessGate:
+    def test_committed_report_is_fresh(self, matrix):
+        """docs/ATTACKS.md in the tree matches a regeneration (the same
+        check CI runs via `python -m repro.attacks report --check`)."""
+        fresh, message = check_report(REPO_ROOT)
+        assert fresh, message
+
+    def test_stale_report_detected(self, tmp_path, matrix):
+        write_report(tmp_path, matrix)
+        ok, _ = check_report(tmp_path)
+        assert ok
+        p = tmp_path / "docs" / "ATTACKS.md"
+        p.write_text(p.read_text() + "\ndrift\n", encoding="utf-8")
+        ok, message = check_report(tmp_path)
+        assert not ok and "stale" in message
+
+    def test_missing_report_detected(self, tmp_path):
+        ok, message = check_report(tmp_path)
+        assert not ok and "missing" in message
