@@ -110,6 +110,10 @@ class Cluster:
     #: present, new sessions register an attribution context so their
     #: denials resolve to an auditable login.  Strictly additive.
     forensics: "object | None" = None
+    #: persistence spine; set by repro.persist.attach_persistence.  When
+    #: present, every mutating control-plane operation is journaled and
+    #: :meth:`recover` can rebuild the control plane after a crash.
+    persist: "object | None" = None
 
     # ------------------------------------------------------------------ build
 
@@ -311,6 +315,18 @@ class Cluster:
         """A :class:`~repro.faults.ChaosController` bound to this cluster."""
         from repro.faults import ChaosController
         return ChaosController(self)
+
+    def recover(self) -> "object":
+        """Recover a crashed control plane from the persistence spine.
+
+        Snapshot load + journal-suffix replay + timer re-arm + UBF
+        generation bump; returns a
+        :class:`~repro.persist.recovery.RecoveryReport`.  Requires
+        :func:`repro.persist.attach_persistence` to have been armed
+        before the crash.
+        """
+        from repro.persist.recovery import recover_cluster
+        return recover_cluster(self)
 
     # ------------------------------------------------------------------ access
 

@@ -96,6 +96,25 @@ class ChaosController:
         return self._arm(self.injector.inject(
             FaultKind.NODE_FLAP, host, flake_rate=flake_rate), for_)
 
+    def crash_scheduler(self, *, for_: float | None = None) -> Fault:
+        """Kill the control plane mid-flight (requires an armed
+        persistence spine — there is no recovery without a journal).
+
+        Scheduler/accounting/health tables are wiped and their timers
+        cancelled; compute nodes, running processes, the fabric, and the
+        UBF daemons keep going.  ``for_=`` schedules the automatic
+        recovery; :meth:`recover_scheduler` is the explicit form.
+        """
+        from repro.persist.recovery import crash_control_plane
+        fault = self.injector.inject(FaultKind.SCHED_CRASH, "scheduler")
+        crash_control_plane(self.cluster)
+        return self._arm(fault, for_)
+
+    def recover_scheduler(self) -> "object":
+        """Recover the crashed control plane; returns the RecoveryReport
+        (see :meth:`~repro.core.cluster.Cluster.recover`)."""
+        return self.cluster.recover()
+
     # -- recovery -----------------------------------------------------------
 
     def clear(self, fault: Fault) -> None:
@@ -106,6 +125,11 @@ class ChaosController:
             daemon = self.cluster.ubf_daemons.get(fault.host)
             if daemon is not None and not daemon.alive:
                 daemon.restart()
+        elif fault.kind is FaultKind.SCHED_CRASH:
+            # recover_cluster clears every SCHED_CRASH fault itself; the
+            # injector.clear below is then an idempotent no-op
+            if getattr(self.cluster.scheduler, "crashed", False):
+                self.cluster.recover()
         elif fault.kind is FaultKind.CONNTRACK_PRESSURE:
             table = self.cluster.fabric.host(fault.host).firewall.conntrack
             table.capacity = fault.params.get("_prev_capacity")

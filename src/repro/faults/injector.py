@@ -58,6 +58,11 @@ class FaultKind(enum.Enum):
     #: compromised-initiator scenario the UBF's local cross-check
     #: ("the same query run locally") exists to catch
     IDENT_SPOOF = "ident-spoof"
+    #: the control plane (scheduler/accounting/health/UserDB views) is
+    #: dead: its tables are wiped and its timers cancelled; the data
+    #: plane keeps running.  Recovery is ``Cluster.recover()``
+    #: (repro.persist), verified by oracle invariant I8.
+    SCHED_CRASH = "sched-crash"
 
 
 @dataclass(eq=False)  # identity semantics: each injection is its own fault

@@ -337,11 +337,39 @@ class UBFDaemon:
         self._crashed_handler = None
         self.stack.firewall.bind_nfqueue(handler)
         self.stack.firewall.bind_nfqueue_batch(self.decide_batch)
-        self.flush_cache()
+        self.resync(reason="restart")
         self.alive = True
         self.fabric.metrics.counter("ubf_restarts").inc()
         self.fabric.metrics.gauge("ubf_resync_flows").set(
             len(self.stack.firewall.conntrack))
+
+    def resync(self, *, reason: str) -> int:
+        """Drop every cached verdict and pin caches to the *current*
+        account-database generation; returns the number purged.
+
+        ``flush_cache`` alone leaves the generation markers at ``-1``,
+        deferring the re-pin to the next decide's revalidation — which is
+        correct only if the generation moved.  After a control-plane
+        recovery the replayed database lands numerically *equal* to the
+        pre-crash generation, so an un-resynced daemon (standard,
+        sharded, and columnar caches alike) would pass the equality check
+        and keep serving pre-crash verdicts.  Recovery bumps the
+        generation past every value any daemon ever saw and then calls
+        this on each one.
+        """
+        purged = len(self._cache) + len(self._sharded)
+        if self._columnar is not None:
+            purged += len(self._columnar)
+        self.flush_cache()
+        gen = self.userdb.generation
+        self._cache_gen = gen
+        self._allow_gen = gen  # allow-sets refill lazily per egid
+        if purged:
+            self.fabric.metrics.counter(
+                "ubf_cache_purged_total", reason=reason).inc(purged)
+        self.fabric.metrics.counter("ubf_resyncs_total",
+                                    reason=reason).inc()
+        return purged
 
     # -- decision ---------------------------------------------------------------
 

@@ -31,7 +31,12 @@ from repro.obs.alerts import (
 )
 from repro.obs.audit import AUDIT_SCHEMA_VERSION, AuditRecord, AuditTrail
 from repro.obs.context import AttributionContext, AttributionRegistry
-from repro.obs.dashboard import denial_posture, ops_dashboard, shard_posture
+from repro.obs.dashboard import (
+    denial_posture,
+    ops_dashboard,
+    recovery_posture,
+    shard_posture,
+)
 from repro.obs.export import (
     event_lines,
     export_jsonl,
@@ -47,7 +52,8 @@ __all__ = [
     "Span", "Tracer",
     "ObservedSyscalls", "Telemetry", "attach_telemetry",
     "event_lines", "export_jsonl", "prometheus_text", "span_lines",
-    "denial_posture", "ops_dashboard", "shard_posture",
+    "denial_posture", "ops_dashboard", "recovery_posture",
+    "shard_posture",
     "AttributionContext", "AttributionRegistry",
     "AUDIT_SCHEMA_VERSION", "AuditRecord", "AuditTrail",
     "FLIGHT_SCHEMA_VERSION", "FlightRecorder", "ForensicDump",

@@ -180,6 +180,51 @@ def campaign_posture(result) -> str:
     return "\n".join(lines).rstrip() + "\n"
 
 
+def recovery_posture(cluster) -> str:
+    """Render the control-plane persistence/recovery section (Markdown).
+
+    Shows what an operator needs to judge crash readiness: whether the
+    write-ahead journal is armed and on which backend, how stale the
+    latest snapshot is (= the replay suffix a crash right now would pay),
+    the crash/recovery counters, and — after a recovery — the last
+    :class:`~repro.persist.recovery.RecoveryReport`'s verdict.
+    """
+    lines = ["## Control-plane recovery posture", ""]
+    spine = getattr(cluster, "persist", None)
+    if spine is None:
+        lines.append("Persistence not armed (run `attach_persistence`) — "
+                     "a control-plane crash is unrecoverable.")
+        return "\n".join(lines) + "\n"
+    journal = spine.journal
+    snap = spine.store.get("snapshot")
+    snap_seq = snap["seq"] if snap else 0
+    state = "CRASHED (recovery pending)" \
+        if getattr(cluster.scheduler, "crashed", False) else "ok"
+    lines.append(
+        f"journal `{type(spine.store).__name__}` at seq {journal.seq} · "
+        f"snapshot at seq {snap_seq} "
+        f"(replay suffix {journal.seq - snap_seq}, "
+        f"cadence {journal.snapshot_every}) · state {state}")
+    metrics = cluster.metrics
+    crashes = int(metrics.counter("sched_crashes_total").value)
+    recoveries = int(metrics.counter("sched_recoveries_total").value)
+    if crashes or recoveries:
+        lines.append("")
+        lines.append(f"{crashes} crash(es) · {recoveries} recover(ies)")
+    report = spine.last_report
+    if report is not None:
+        lines.append("")
+        lines.append(_md_table(
+            ["last recovery", "value"],
+            [["digest", "intact" if report.identical else "DIVERGED"],
+             ["replayed records", report.replayed],
+             ["from snapshot seq", report.snapshot_seq],
+             ["purged UBF verdicts", report.purged_verdicts],
+             ["userdb generation", report.generation],
+             ["wall time (s)", f"{report.duration_s:.4f}"]]))
+    return "\n".join(lines) + "\n"
+
+
 def ops_dashboard(cluster, *, window: float | None = None,
                   now: float | None = None, min_denials: int = 5,
                   min_distinct_targets: int = 3) -> str:
@@ -353,6 +398,9 @@ def ops_dashboard(cluster, *, window: float | None = None,
         else:
             lines.append("No flight-recorder dumps captured.")
             lines.append("")
+
+    # -- control-plane recovery posture ------------------------------------
+    lines.append(recovery_posture(cluster))
 
     # -- degradation posture -----------------------------------------------
     lines += ["## Degradation posture", ""]

@@ -123,6 +123,22 @@ CATALOG: tuple[Invariant, ...] = (
             "private group."),
         modules=("sched/scheduler.py", "sched/health.py"),
     ),
+    Invariant(
+        id="I8",
+        title="control-plane recovery preserves separation",
+        section="IV-B + IV-F",
+        statement=(
+            "A control plane rebuilt from snapshot + journal replay ends "
+            "digest-identical to the state at the crash: no job runs on a "
+            "node that was fenced (or flagged for remediation) before the "
+            "crash without a remediation in between, no membership "
+            "revoked before the crash is resurrected by the rebuilt "
+            "account database, and no GPU granted before the crash is "
+            "forgotten — every unscrubbed grant still belongs to a live "
+            "running job or to a node since remediated."),
+        modules=("persist/recovery.py", "sched/scheduler.py",
+                 "net/ubf.py"),
+    ),
 )
 
 #: id -> Invariant, for reports and metric-label validation.

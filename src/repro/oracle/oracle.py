@@ -699,3 +699,111 @@ class SeparationOracle:
                 f"ACL grant to non-member gid {entry.qualifier} by uid "
                 f"{creds.uid} survived the restriction patch",
                 uid=creds.uid)
+
+    # -- I8: control-plane recovery -----------------------------------------
+
+    def check_recovery(self, cluster, report) -> None:
+        """A control-plane recovery completed: separation state must hold.
+
+        Differential replay first — the rebuilt control plane must be
+        digest-identical to the state captured at the crash.  Then the
+        journal itself is read back as evidence: a node whose last
+        administrative record is a fence must still be quarantined, a
+        membership whose last record is a revocation must stay revoked,
+        and every GPU grant without a matching scrub (or a later
+        remediation of its node) must still belong to a live running job.
+        Unlike the per-decision checks this never draws from the sampling
+        RNG: recoveries are rare, and a draw here would shift every
+        subsequent sampled check of the run.
+        """
+        if self._busy:
+            return
+        self._count("I8")
+        if report.digest_before and not report.identical:
+            self._violation(
+                "I8", "recovery",
+                f"recovered control plane diverged from the crash state "
+                f"(digest {report.digest_after} != "
+                f"{report.digest_before})")
+        spine = getattr(cluster, "persist", None)
+        if spine is None:
+            return
+        records = spine.journal.records()
+        self._check_recovery_fences(cluster, records)
+        self._check_recovery_membership(cluster, records)
+        self._check_recovery_gpus(cluster, records)
+
+    def _check_recovery_fences(self, cluster, records) -> None:
+        """No fence forgotten: a node last fenced must stay quarantined."""
+        last: dict[str, str] = {}
+        for rec in records:
+            if rec["op"] in ("fence", "remediate", "resume"):
+                last[rec["node"]] = rec["op"]
+        sched = cluster.scheduler
+        for name, op in sorted(last.items()):
+            if op != "fence":
+                continue
+            node = sched.nodes.get(name)
+            if node is None:
+                continue
+            if not (node.fenced and node.needs_remediation):
+                self._violation(
+                    "I8", f"node:{name}",
+                    "journaled fence was forgotten by recovery: node is "
+                    "schedulable without an intervening remediation",
+                    node=name)
+            elif node.allocations:
+                self._violation(
+                    "I8", f"node:{name}",
+                    f"fenced node still holds allocation(s) for job(s) "
+                    f"{sorted(node.allocations)} after recovery",
+                    node=name)
+
+    def _check_recovery_membership(self, cluster, records) -> None:
+        """No revocation resurrected: a membership last removed stays out."""
+        last: dict[tuple[int, int], str] = {}
+        for rec in records:
+            if rec["op"] in ("member_add", "member_del"):
+                last[(rec["gid"], rec["uid"])] = rec["op"]
+        db = cluster.userdb
+        for (gid, uid), op in sorted(last.items()):
+            if op != "member_del":
+                continue
+            group = db._groups_by_gid.get(gid)
+            if group is not None and uid in group.members:
+                self._violation(
+                    "I8", f"group:gid{gid}",
+                    f"revoked membership of uid {uid} resurrected by "
+                    f"recovery",
+                    uid=uid)
+
+    def _check_recovery_gpus(self, cluster, records) -> None:
+        """No grant forgotten: unscrubbed GPUs belong to live jobs only."""
+        open_grants: dict[tuple[int, str], list[int]] = {}
+        for rec in records:
+            if rec["op"] == "gpu_grant":
+                open_grants[(rec["job_id"], rec["node"])] = rec["gpus"]
+            elif rec["op"] == "gpu_scrub":
+                open_grants.pop((rec["job_id"], rec["node"]), None)
+            elif rec["op"] == "remediate":
+                # remediation scrubs every device on the node
+                for key in [k for k in open_grants if k[1] == rec["node"]]:
+                    open_grants.pop(key)
+        sched = cluster.scheduler
+        from repro.sched.jobs import JobState
+        for (job_id, node_name), gpus in sorted(open_grants.items()):
+            job = sched.jobs.get(job_id)
+            node = sched.nodes.get(node_name)
+            live = (job is not None and job.state is JobState.RUNNING
+                    and node is not None
+                    and job_id in node.allocations)
+            # a grant stranded on a still-quarantined node is *tracked*
+            # residue (the fence check guards its rejoin), not forgotten
+            quarantined = node is not None and (node.fenced
+                                                or node.needs_remediation)
+            if not live and not quarantined:
+                self._violation(
+                    "I8", f"gpu:{node_name}/job{job_id}",
+                    f"granted-but-unscrubbed GPU(s) {gpus} belong to no "
+                    f"live running job after recovery",
+                    job_id=job_id, node=node_name)

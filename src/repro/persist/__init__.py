@@ -1,0 +1,44 @@
+"""Durable control-plane state: journal, snapshots, crash recovery.
+
+The paper's separation guarantees live in control-plane state — fences,
+attempt counts, project-group membership, GPU custody — and a crashed
+scheduler that forgets any of it re-opens exactly the holes invariants
+I1–I7 close.  This package makes that state durable and its recovery
+*checkable*:
+
+* :mod:`repro.persist.store` — the pluggable run-store seam (ROADMAP
+  item 1): in-memory and CRC-guarded JSONL backends behind one
+  Redis-shaped interface;
+* :mod:`repro.persist.journal` — the versioned write-ahead journal every
+  mutating control-plane operation appends to;
+* :mod:`repro.persist.snapshot` — periodic deterministic snapshots plus
+  the PYTHONHASHSEED-stable :func:`~repro.persist.snapshot.state_digest`
+  recovery is judged by;
+* :mod:`repro.persist.recovery` — ``Cluster.recover()``: snapshot load +
+  suffix replay + timer re-arm + UBF generation bump, verified by oracle
+  invariant I8 and benchmarked by E30.
+"""
+
+from repro.persist.journal import JOURNAL_STREAM, Journal, PERSIST_SCHEMA_VERSION
+from repro.persist.recovery import (
+    PersistSpine,
+    RecoveryReport,
+    attach_persistence,
+    crash_control_plane,
+    recover_cluster,
+)
+from repro.persist.snapshot import SNAPSHOT_KEY, capture, restore, state_digest
+from repro.persist.store import (
+    CorruptJournal,
+    JsonlRunStore,
+    MemoryRunStore,
+    RunStore,
+)
+
+__all__ = [
+    "PERSIST_SCHEMA_VERSION", "JOURNAL_STREAM", "Journal",
+    "RunStore", "MemoryRunStore", "JsonlRunStore", "CorruptJournal",
+    "SNAPSHOT_KEY", "capture", "restore", "state_digest",
+    "PersistSpine", "RecoveryReport", "attach_persistence",
+    "crash_control_plane", "recover_cluster",
+]

@@ -133,6 +133,18 @@ class HealthMonitor:
         self._purged_hosts: set[str] = set()
         self.started = False
         self._tick_armed = False
+        #: pending tick event + its due time — tracked so a control-plane
+        #: crash can cancel the tick and recovery can re-arm it on time
+        self._tick_event = None
+        self._tick_due: float | None = None
+
+    @property
+    def journal(self):
+        """The scheduler's write-ahead journal, or None when persistence
+        is not armed.  Resolved through the scheduler on every read so
+        the monitor journals regardless of attach order
+        (``attach_health`` before or after ``attach_persistence``)."""
+        return getattr(self.scheduler, "journal", None)
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -155,8 +167,13 @@ class HealthMonitor:
     def _arm_tick(self) -> None:
         if self._tick_armed:
             return
+        if getattr(self.scheduler, "crashed", False):
+            return  # a dead control plane probes nothing until recovery
         self._tick_armed = True
-        self.engine.after(self.interval, self._tick)
+        self._tick_due = self.engine.now + self.interval
+        self._tick_event = self.engine.at(self._tick_due, self._tick)
+        if self.journal is not None:
+            self.journal.tick_armed(self._tick_due)
 
     def state_of(self, name: str) -> NodeHealth:
         return self.nodes[name].state
@@ -172,6 +189,10 @@ class HealthMonitor:
 
     def _tick(self) -> None:
         self._tick_armed = False
+        self._tick_event = None
+        self._tick_due = None
+        if self.journal is not None:
+            self.journal.tick_fired()
         now = self.engine.now
         for lc in self.nodes.values():
             if self.faults.heartbeat_ok(lc.name):
@@ -220,16 +241,26 @@ class HealthMonitor:
             self._transition(lc, now, NodeHealth.DOWN,
                              f"{lc.missed} missed heartbeat(s); fencing")
             self._fence(lc, now)
+        self._journal_hb(lc)
 
     def _beat(self, lc: NodeLifecycle, now: float) -> None:
         # the absence alert watches this family: while faults are active a
         # frozen total means every watched node has gone silent
         self.metrics.counter("node_heartbeats_total").inc()
+        before = (lc.state, lc.missed, lc.quarantined_until,
+                  tuple(lc.rejoin_times), lc.purged)
         lc.missed = 0
         if lc.state is NodeHealth.SUSPECT:
             self._transition(lc, now, NodeHealth.UP, "heartbeat returned")
         elif lc.state is NodeHealth.DOWN:
             self._try_rejoin(lc, now)
+        if before != (lc.state, lc.missed, lc.quarantined_until,
+                      tuple(lc.rejoin_times), lc.purged):
+            self._journal_hb(lc)
+
+    def _journal_hb(self, lc: NodeLifecycle) -> None:
+        if self.journal is not None:
+            self.journal.heartbeat_state(lc)
 
     # -- fencing ------------------------------------------------------------
 
@@ -237,6 +268,8 @@ class HealthMonitor:
         """The node is DOWN: record residue, fence, requeue, purge peers."""
         node = self.scheduler.nodes[lc.name]
         lc.residue = self._record_residue(node, now)
+        if self.journal is not None:
+            self.journal.residue_recorded(lc.residue)
         self.scheduler.fail_node(lc.name)
         for kind, count in (
                 ("orphan-procs", len(lc.residue.orphan_pids)),
@@ -307,6 +340,8 @@ class HealthMonitor:
         lc.rejoin_times = recent + [now]
         self.scheduler.resume(lc.name)  # remediates before rescheduling
         lc.residue = None
+        if self.journal is not None:
+            self.journal.residue_cleared(lc.name)
         self._purged_hosts.discard(lc.name)
         lc.purged = False
         self._transition(lc, now, NodeHealth.UP,
@@ -328,11 +363,16 @@ class HealthMonitor:
         affected |= {f.host for f in
                      self.faults.active(FaultKind.NODE_CRASH)}
         for host in affected:
-            self._unreachable_since.setdefault(host, now)
+            if host not in self._unreachable_since:
+                self._unreachable_since[host] = now
+                if self.journal is not None:
+                    self.journal.host_unreachable(host, now)
         for host in list(self._unreachable_since):
             if host not in affected:
                 del self._unreachable_since[host]
                 self._purged_hosts.discard(host)
+                if self.journal is not None:
+                    self.journal.host_reachable(host)
                 continue
             since = self._unreachable_since[host]
             if (now - since >= self.dead_host_ttl
@@ -341,6 +381,8 @@ class HealthMonitor:
                 self.purge_host(host)
                 self._purged_hosts.add(host)
                 self.metrics.counter("dead_host_purges_total").inc()
+                if self.journal is not None:
+                    self.journal.dead_host_purged(host)
 
 
 def attach_health(cluster, **kw) -> HealthMonitor:

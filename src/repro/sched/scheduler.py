@@ -33,7 +33,6 @@ Two dispatch implementations coexist (DESIGN.md "Performance architecture"):
 
 from __future__ import annotations
 
-import itertools
 from dataclasses import dataclass
 from typing import Callable, Iterable
 
@@ -119,7 +118,18 @@ class Scheduler:
         #: finish so a requeued job's stale timers cannot fire into its
         #: next attempt
         self._job_events: dict[int, list[object]] = {}
-        self._ids = itertools.count(1)
+        #: per-job pending *arrival* events (submitted, not yet queued) —
+        #: cancelled on a control-plane crash, re-armed by recovery
+        self._arrival_events: dict[int, object] = {}
+        #: optional write-ahead journal (repro.persist); every mutating
+        #: operation appends a record when set.  None = zero-cost hooks.
+        self.journal = None
+        #: True between a control-plane crash and its recovery; submission
+        #: is refused while the scheduler is dead.
+        self.crashed = False
+        # explicit counter (not itertools.count) so snapshots can capture
+        # and recovery can restore the next job id
+        self._next_jid = 1
         self.jobs: dict[int, Job] = {}
         self._queue: list[Job] = []
         self._running: dict[int, Job] = {}
@@ -152,6 +162,9 @@ class Scheduler:
 
         Raises on an unknown partition or a duration over the partition's
         time limit (sbatch's ``--time`` rejection)."""
+        if self.crashed:
+            raise RuntimeError(
+                "control plane is crashed; recover() before submitting")
         try:
             partition = self.partitions[spec.partition]
         except KeyError:
@@ -161,20 +174,35 @@ class Scheduler:
             raise InvalidArgument(
                 f"duration {duration} exceeds partition "
                 f"{partition.name!r} limit {partition.max_duration}")
-        job = Job(job_id=next(self._ids), spec=spec, duration=duration,
+        job = Job(job_id=self._next_id(), spec=spec, duration=duration,
                   array_id=array_id, array_index=array_index)
         self.jobs[job.job_id] = job
         arrival = self.engine.now if at is None else at
         job.submit_time = arrival
         if self.attribution is not None:
             self.attribution.job_submitted(job)
-        self.engine.at(arrival, lambda: self._arrive(job))
+        if self.journal is not None:
+            self.journal.job_submitted(job)
+        self._arm_arrival(job, arrival)
         return job
+
+    def _next_id(self) -> int:
+        jid = self._next_jid
+        self._next_jid += 1
+        return jid
+
+    def _arm_arrival(self, job: Job, at: float) -> None:
+        """Schedule the job's queue arrival, tracking the pending event so
+        a control-plane crash can cancel it and recovery can re-arm it."""
+        def fire() -> None:
+            self._arrival_events.pop(job.job_id, None)
+            self._arrive(job)
+        self._arrival_events[job.job_id] = self.engine.at(at, fire)
 
     def submit_array(self, spec: JobSpec, durations: list[float], *,
                      at: float | None = None) -> list[Job]:
         """sbatch --array: one job per element, common array id."""
-        array_id = next(self._ids)
+        array_id = self._next_id()
         return [self.submit(spec, d, at=at, array_id=array_id,
                             array_index=i)
                 for i, d in enumerate(durations)]
@@ -215,6 +243,8 @@ class Scheduler:
         self.metrics.counter("jobs_submitted").inc()
         if self.tracer is not None:
             self._open_job_trace(job)
+        if self.journal is not None:
+            self.journal.job_arrived(job)
         self._note_queue_depth()
         self._try_dispatch()
 
@@ -225,11 +255,16 @@ class Scheduler:
         if job.state is JobState.PENDING:
             if job in self._queue:
                 self._queue.remove(job)
+            pending_arrival = self._arrival_events.pop(job.job_id, None)
+            if pending_arrival is not None:
+                self.engine.cancel(pending_arrival)
             self._fresh_jobs.discard(job.job_id)
             job.state = JobState.CANCELLED
             job.end_time = self.engine.now
             if self.tracer is not None:
                 self._close_job_trace(job, JobState.CANCELLED)
+            if self.journal is not None:
+                self.journal.job_cancelled(job)
             self._note_queue_depth()
         elif job.state is JobState.RUNNING:
             self._finish(job, JobState.CANCELLED)
@@ -446,6 +481,10 @@ class Scheduler:
                 # job fails rather than run without its controls, and
                 # _finish unwinds whatever was already allocated/spawned.
                 self._core_charge[job.job_id] = (0, 0)
+                if self.journal is not None:
+                    # zero-charge dispatch: replay rebuilds the same
+                    # started-then-immediately-failed accounting row
+                    self.journal.job_dispatched(job, 0, 0)
                 self._finish(job, JobState.FAILED)
                 return
             creds = node.node.userdb.credentials_for(job.spec.user)
@@ -469,6 +508,10 @@ class Scheduler:
         self.metrics.counter("jobs_started").inc()
         if self.attribution is not None:
             self.attribution.job_started(job)
+        if self.journal is not None:
+            # after the core-charge/time-weighted updates, so a snapshot
+            # triggered by this append sees them consistently applied
+            self.journal.job_dispatched(job, charged, useful)
         if job.spec.script is not None:
             self._run_batch_script(job, plan[0][0])
             if job.state is not JobState.RUNNING:
@@ -563,6 +606,8 @@ class Scheduler:
             self.attribution.job_finished(job, state)
         self.accounting.record(job)
         self.metrics.counter(f"jobs_{state.name.lower()}").inc()
+        if self.journal is not None:
+            self.journal.job_finished(job, state)
         if self.on_finish is not None:
             self.on_finish(job, state)
         self._try_dispatch()
@@ -641,6 +686,8 @@ class Scheduler:
         node = self.nodes[node_name]
         node.drained = True
         self._node_changed(node, freed=False)
+        if self.journal is not None:
+            self.journal.node_drained(node_name)
 
     def resume(self, node_name: str) -> None:
         """scontrol update state=RESUME; a fenced node remediates first.
@@ -656,6 +703,8 @@ class Scheduler:
         node.drained = False
         node.failed = False
         self._node_changed(node, freed=True)
+        if self.journal is not None:
+            self.journal.node_resumed(node_name)
         self._try_dispatch()
 
     def remediate(self, node_name: str) -> dict[str, int]:
@@ -680,6 +729,8 @@ class Scheduler:
         node.remediations += 1
         self._node_changed(node, freed=False)
         self.metrics.counter("node_remediations_total").inc()
+        if self.journal is not None:
+            self.journal.node_remediated(node_name)
         if self.events is not None:
             from repro.monitor.events import EventKind
             self.events.emit(
@@ -704,6 +755,8 @@ class Scheduler:
         node.needs_remediation = True
         self._node_changed(node, freed=False)
         self.metrics.counter("node_fencings_total").inc()
+        if self.journal is not None:
+            self.journal.node_fenced(node_name)
         victims = [self.jobs[jid] for jid in list(node.allocations)]
         if self.events is not None:
             from repro.monitor.events import EventKind
@@ -755,6 +808,8 @@ class Scheduler:
             # the failed attempt's trace closed with NODE_FAIL; the retry
             # gets a fresh trace so every attempt stays inspectable
             self._open_job_trace(job, attempt=job.attempt)
+        if self.journal is not None:
+            self.journal.job_requeued(job)
         self._note_queue_depth()
         self._try_dispatch()
 

@@ -4,10 +4,10 @@ from repro.oracle import BY_ID, CATALOG
 
 
 class TestCatalog:
-    def test_seven_invariants(self):
-        assert len(CATALOG) == 7
+    def test_eight_invariants(self):
+        assert len(CATALOG) == 8
         assert [inv.id for inv in CATALOG] == [
-            "I1", "I2", "I3", "I4", "I5", "I6", "I7"]
+            "I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"]
 
     def test_ids_unique_and_indexed(self):
         assert len(BY_ID) == len(CATALOG)

@@ -376,7 +376,7 @@ class TestReporting:
         alice = creds_of(userdb, "alice", smask=PAPER_SMASK)
         oracle.check_vfs_mode(llsc_node.vfs, "/f", alice, 0o777, "chmod")
         rows = {r["id"]: r for r in oracle.summary()}
-        assert set(rows) == {"I1", "I2", "I3", "I4", "I5", "I6", "I7"}
+        assert set(rows) == {"I1", "I2", "I3", "I4", "I5", "I6", "I7", "I8"}
         assert rows["I3"]["checks"] == 1 and rows["I3"]["violations"] == 1
         assert rows["I1"]["checks"] == 0
 

@@ -1,0 +1,1 @@
+"""Tests for the control-plane persistence layer (repro.persist)."""

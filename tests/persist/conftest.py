@@ -1,0 +1,35 @@
+"""Fixtures for the persistence suite: a small persisted cluster."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cluster import Cluster
+from repro.core.config import SeparationConfig
+from repro.persist import attach_persistence
+
+
+def build_cluster(*, nodes: int = 4, gpus: int = 0, store=None,
+                  snapshot_every: int = 256, requeue: bool = False):
+    """A small cluster with the persistence spine armed."""
+    cluster = Cluster.build(
+        SeparationConfig(), n_compute=nodes, gpus_per_node=gpus,
+        users=("alice", "bob"), projects={"fusion": ("alice", "bob")})
+    if requeue:
+        cluster.scheduler.config.requeue_on_node_fail = True
+    attach_persistence(cluster, store, snapshot_every=snapshot_every)
+    return cluster
+
+
+def submit_batch(cluster, n: int = 8, *, gpus_per_task: int = 0):
+    """Deterministic staggered-arrival workload."""
+    for i in range(n):
+        cluster.submit(
+            "alice" if i % 2 else "bob", name=f"j{i}", ntasks=1,
+            gpus_per_task=gpus_per_task,
+            duration=9.5 + (i % 5) * 2.25 + i * 0.01, at=i * 0.5)
+
+
+@pytest.fixture
+def persisted_cluster():
+    return build_cluster()

@@ -1,0 +1,124 @@
+"""RunStore backend contract: append order, CRC guard, torn tails.
+
+The JSONL backend is the crash-survival story: a control plane dying
+mid-``write`` leaves a torn final line, and recovery must shrug that off
+(drop it, replay the intact prefix).  Damage anywhere *earlier* is bit
+rot or tampering — replaying past it would rebuild a silently wrong
+control plane, so it must refuse loudly instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.persist import CorruptJournal, JsonlRunStore, MemoryRunStore
+
+
+@pytest.fixture(params=["memory", "jsonl"])
+def store(request, tmp_path):
+    if request.param == "memory":
+        return MemoryRunStore()
+    return JsonlRunStore(str(tmp_path / "run"))
+
+
+class TestRunStoreContract:
+    def test_append_read_order(self, store):
+        for i in range(5):
+            assert store.append("j", {"seq": i}) == i + 1
+        assert [r["seq"] for r in store.read("j")] == [0, 1, 2, 3, 4]
+        assert [r["seq"] for r in store.read("j", start=3)] == [3, 4]
+        assert store.length("j") == 5
+
+    def test_unknown_stream_is_empty(self, store):
+        assert store.read("nope") == []
+        assert store.length("nope") == 0
+
+    def test_read_returns_copies(self, store):
+        store.append("j", {"op": "x", "rows": [1, 2]})
+        store.read("j")[0]["op"] = "mutated"
+        assert store.read("j")[0]["op"] == "x"
+
+    def test_put_get_roundtrip(self, store):
+        assert store.get("snap") is None
+        store.put("snap", {"seq": 7, "nodes": ["c1", "c2"]})
+        assert store.get("snap") == {"seq": 7, "nodes": ["c1", "c2"]}
+        store.put("snap", {"seq": 9, "nodes": []})  # last write wins
+        assert store.get("snap") == {"seq": 9, "nodes": []}
+
+
+class TestJsonlCrashArtifacts:
+    def test_reload_from_disk(self, tmp_path):
+        root = str(tmp_path / "run")
+        first = JsonlRunStore(root)
+        for i in range(3):
+            first.append("j", {"seq": i})
+        first.put("snap", {"seq": 2})
+        again = JsonlRunStore(root)  # fresh process, same directory
+        assert [r["seq"] for r in again.read("j")] == [0, 1, 2]
+        assert again.get("snap") == {"seq": 2}
+
+    def test_torn_final_record_dropped_not_fatal(self, tmp_path):
+        root = tmp_path / "run"
+        store = JsonlRunStore(str(root))
+        store.append("j", {"seq": 0})
+        store.append("j", {"seq": 1})
+        with open(root / "j.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "op": "disp')  # crash mid-write
+        again = JsonlRunStore(str(root))
+        assert [r["seq"] for r in again.read("j")] == [0, 1]
+        assert again.length("j") == 2
+        assert again.dropped_tails["j"] == 1
+
+    def test_final_record_crc_mismatch_also_dropped(self, tmp_path):
+        root = tmp_path / "run"
+        store = JsonlRunStore(str(root))
+        store.append("j", {"seq": 0})
+        with open(root / "j.jsonl", "a", encoding="utf-8") as fh:
+            fh.write('{"seq":1}|deadbeef\n')
+        again = JsonlRunStore(str(root))
+        assert [r["seq"] for r in again.read("j")] == [0]
+        assert again.dropped_tails["j"] == 1
+
+    def test_mid_stream_damage_raises(self, tmp_path):
+        root = tmp_path / "run"
+        path = root / "j.jsonl"
+        store = JsonlRunStore(str(root))
+        for i in range(3):
+            store.append("j", {"seq": i})
+        lines = path.read_text().splitlines(keepends=True)
+        lines[1] = '{"seq":1,"op":"evil"}|00000000\n'
+        path.write_text("".join(lines))
+        with pytest.raises(CorruptJournal):
+            JsonlRunStore(str(root)).read("j")
+
+    def test_torn_tail_truncated_then_appendable(self, tmp_path):
+        """Loading past a torn tail truncates the file to the intact
+        prefix, so appends from the recovered process never leave the
+        torn line stranded mid-stream for the next reader."""
+        root = tmp_path / "run"
+        store = JsonlRunStore(str(root))
+        store.append("j", {"seq": 0})
+        with open(root / "j.jsonl", "a", encoding="utf-8") as fh:
+            fh.write("torn")
+        again = JsonlRunStore(str(root))
+        assert again.length("j") == 1
+        again.append("j", {"seq": 1})
+        assert [r["seq"] for r in JsonlRunStore(str(root)).read("j")] \
+            == [0, 1]
+
+    def test_snapshot_put_is_atomic(self, tmp_path):
+        """A crash between tmp-write and rename leaves the previous good
+        snapshot in place — get() never sees the half-written one."""
+        root = tmp_path / "run"
+        store = JsonlRunStore(str(root))
+        store.put("snap", {"seq": 1})
+        with open(root / "snap.json.tmp", "w", encoding="utf-8") as fh:
+            fh.write('{"seq": 2, "trunc')  # crashed before os.replace
+        assert JsonlRunStore(str(root)).get("snap") == {"seq": 1}
+
+    def test_garbage_snapshot_reads_none(self, tmp_path):
+        root = tmp_path / "run"
+        store = JsonlRunStore(str(root))
+        with open(root / "snap.json", "w", encoding="utf-8") as fh:
+            fh.write("not json")
+        assert store.get("snap") is None

@@ -18,6 +18,7 @@ SUBPACKAGES = [
     "repro.modules",
     "repro.monitor",
     "repro.net",
+    "repro.persist",
     "repro.portal",
     "repro.sched",
     "repro.shell",
